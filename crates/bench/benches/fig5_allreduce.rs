@@ -1,0 +1,43 @@
+//! Figure 5a regeneration: Allreduce tail completion time across DCQCN
+//! configurations for ECMP / Adaptive Routing / Themis.
+//!
+//! Paper claims: Themis 15.6%–75.3% lower completion time than AR across
+//! the sweep, with the largest gap at the recommended (900, 4) µs
+//! configuration; ECMP is worst throughout.
+
+use themis_harness::fig5::{improvement_pct, run_fig5, Fig5Config};
+use themis_harness::report::{fmt_ms, Table};
+use themis_harness::{Collective, Scheme};
+
+fn main() {
+    let bytes = themis_bench::bench_bytes();
+    println!("Figure 5a — Allreduce tail completion time");
+    println!("16x16 leaf-spine @400 Gbps, 16 groups x 16 NICs; {}\n", themis_bench::scale_banner());
+
+    let cfg = Fig5Config::paper(Collective::Allreduce, bytes, 1);
+    let points = run_fig5(&cfg);
+
+    let mut table = Table::new(
+        "Allreduce tail CT (ms) per DCQCN (T_I, T_D) us",
+        &["(TI,TD)", "ECMP", "AR", "Themis", "Themis vs AR"],
+    );
+    for chunk in points.chunks(3) {
+        let find = |s: Scheme| chunk.iter().find(|p| p.scheme == s).expect("present");
+        let ecmp = find(Scheme::Ecmp);
+        let ar = find(Scheme::AdaptiveRouting);
+        let th = find(Scheme::Themis);
+        let vs = match (th.tail_ct, ar.tail_ct) {
+            (Some(t), Some(a)) => format!("{:+.1}%", improvement_pct(t, a)),
+            _ => "-".into(),
+        };
+        table.row(&[
+            format!("({},{})", ecmp.ti_us, ecmp.td_us),
+            fmt_ms(ecmp.tail_ct),
+            fmt_ms(ar.tail_ct),
+            fmt_ms(th.tail_ct),
+            vs,
+        ]);
+    }
+    table.print();
+    println!("\npositive % = Themis faster than AR  [paper: 15.6%..75.3%, largest at (900,4)]");
+}

@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks of the hot paths.
+//!
+//! These quantify the per-packet costs a Tofino pipeline (or this
+//! simulator) pays for Themis: ring-queue push/scan, Eq. 3 validation,
+//! PathMap construction, the GF(2)-linear hash, and the raw event-engine
+//! throughput that bounds simulation speed.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use netsim::hash::{ecmp_hash, FiveTuple};
+use netsim::types::HostId;
+use simcore::engine::{Control, Engine};
+use simcore::time::{Nanos, TimeDelta};
+use themis_core::pathmap::PathMap;
+use themis_core::policy::nack_valid;
+use themis_core::psn_queue::PsnQueue;
+
+fn bench_event_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_engine");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("schedule_dispatch_100k", |b| {
+        b.iter(|| {
+            let mut e: Engine<u64> = Engine::new();
+            for i in 0..100_000u64 {
+                e.schedule_at(Nanos(i), i);
+            }
+            let mut sum = 0u64;
+            e.run_with(|_, ev| {
+                sum = sum.wrapping_add(ev.payload);
+                Control::Continue
+            });
+            sum
+        });
+    });
+    g.bench_function("self_rescheduling_timer_100k", |b| {
+        b.iter(|| {
+            let mut e: Engine<u64> = Engine::new();
+            e.schedule_at(Nanos(0), 0);
+            e.run_with(|eng, ev| {
+                if ev.payload < 100_000 {
+                    eng.schedule_in(TimeDelta(5), ev.payload + 1);
+                }
+                Control::Continue
+            })
+        });
+    });
+    g.finish();
+}
+
+fn bench_psn_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("psn_queue");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push", |b| {
+        let mut q = PsnQueue::with_capacity(100);
+        let mut psn = 0u32;
+        b.iter(|| {
+            q.push(psn);
+            psn = psn.wrapping_add(1) & 0xFF_FFFF;
+        });
+    });
+    g.bench_function("scan_hit_depth_50", |b| {
+        b.iter_batched(
+            || {
+                let mut q = PsnQueue::with_capacity(100);
+                for psn in 0..100u32 {
+                    q.push(psn);
+                }
+                q
+            },
+            |mut q| q.scan_for_tpsn(49),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("contains_miss_100", |b| {
+        let mut q = PsnQueue::with_capacity(100);
+        for psn in 0..100u32 {
+            q.push(psn);
+        }
+        b.iter(|| q.contains(200));
+    });
+    g.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy");
+    g.bench_function("eq3_validation", |b| {
+        let mut psn = 0u32;
+        b.iter(|| {
+            psn = psn.wrapping_add(7) & 0xFF_FFFF;
+            nack_valid(psn, psn.wrapping_add(3) & 0xFF_FFFF, 16)
+        });
+    });
+    g.bench_function("ecmp_hash", |b| {
+        let mut sport = 0u16;
+        b.iter(|| {
+            sport = sport.wrapping_add(1);
+            ecmp_hash(&FiveTuple::new(HostId(3), HostId(250), sport))
+        });
+    });
+    g.finish();
+}
+
+fn bench_pathmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pathmap");
+    for n in [16usize, 256] {
+        g.bench_function(format!("build_n{n}"), |b| {
+            b.iter(|| PathMap::build(n));
+        });
+    }
+    g.bench_function("rewrite", |b| {
+        let pm = PathMap::build(256);
+        let mut d = 0usize;
+        b.iter(|| {
+            d = (d + 1) % 256;
+            pm.rewrite(4242, d)
+        });
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    use themis_harness::{run_point_to_point, ExperimentConfig, Scheme};
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    g.bench_function("p2p_1mb_themis", |b| {
+        b.iter(|| {
+            let cfg = ExperimentConfig::motivation_small(Scheme::Themis, 3);
+            run_point_to_point(&cfg, 1 << 20)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_engine,
+    bench_psn_queue,
+    bench_policy,
+    bench_pathmap,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Table 1 / §4 regeneration: Themis switch-memory overhead.
+//!
+//! Evaluates Eq. 4 at the Table 1 reference values and cross-checks the
+//! analytic model against the *live* data structures (a provisioned
+//! FlowTable + PathMap must occupy exactly the modeled bytes).
+
+use themis_core::flow_table::{FlowTable, ENTRY_EXTENSION_BYTES};
+use themis_core::memory::MemoryModel;
+use themis_core::pathmap::PathMap;
+use themis_harness::report::Table;
+
+fn main() {
+    println!("Table 1 / §4 — Themis memory overhead\n");
+
+    let m = MemoryModel::table1_reference();
+    let mut t = Table::new(
+        "Symbols (Table 1 reference values)",
+        &["symbol", "value"],
+    );
+    t.row(&["N_paths".into(), m.n_paths.to_string()]);
+    t.row(&["BW".into(), format!("{} Gbps", m.bw_bps / 1_000_000_000)]);
+    t.row(&["RTT_last".into(), format!("{} us", m.rtt_last.as_micros_f64())]);
+    t.row(&["N_NIC".into(), m.n_nic.to_string()]);
+    t.row(&["N_QP".into(), m.n_qp.to_string()]);
+    t.row(&["MTU".into(), format!("{} B", m.mtu)]);
+    t.row(&["F".into(), format!("{:.1}", m.f_times_100 as f64 / 100.0)]);
+    t.print();
+
+    println!();
+    let mut r = Table::new("Eq. 4 evaluation", &["quantity", "bytes", "note"]);
+    r.row(&[
+        "N_entries".into(),
+        m.n_entries().to_string(),
+        "ceil(BW*RTT*F/MTU)".into(),
+    ]);
+    r.row(&[
+        "M_PathMap".into(),
+        m.pathmap_bytes().to_string(),
+        "N_paths x 2".into(),
+    ]);
+    r.row(&[
+        "M_QP".into(),
+        m.per_qp_bytes().to_string(),
+        "20 + N_entries".into(),
+    ]);
+    r.row(&[
+        "M_total".into(),
+        m.total_bytes().to_string(),
+        "~193 KB [paper: 193 KB]".into(),
+    ]);
+    r.print();
+
+    // Cross-check: live data structures occupy exactly the modeled bytes
+    // plus this implementation's documented per-flow extension (the
+    // expected-retransmission and recent-tPSN side tables; see
+    // EXPERIMENTS.md "known deviations").
+    let pm = PathMap::build(m.n_paths);
+    assert_eq!(pm.memory_bytes(), m.pathmap_bytes());
+    let mut ft = FlowTable::new(m.n_entries());
+    let n_flows = m.n_qp * m.n_nic;
+    for qp in 0..n_flows as u32 {
+        ft.provision(netsim::types::QpId(qp));
+    }
+    let extension = n_flows * ENTRY_EXTENSION_BYTES;
+    assert_eq!(
+        ft.memory_bytes() + pm.memory_bytes(),
+        m.total_bytes() + extension,
+        "live structures must match the analytic model plus the extension"
+    );
+    println!(
+        "\nlive-structure cross-check: PASS ({} bytes live == {} model + {} extension)",
+        m.total_bytes() + extension,
+        m.total_bytes(),
+        extension
+    );
+    println!(
+        "fraction of switch SRAM: {:.2}% of 32 MB, {:.2}% of 64 MB",
+        m.fraction_of_sram(32 << 20) * 100.0,
+        m.fraction_of_sram(64 << 20) * 100.0
+    );
+}

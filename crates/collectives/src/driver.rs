@@ -1,0 +1,631 @@
+//! The in-simulation workload driver.
+//!
+//! One [`Driver`] entity owns every collective *instance* (group) of an
+//! experiment. At start (a seed timer event) it posts all dependency-free
+//! transfers; as [`ControlMsg::MessageDelivered`] notifications arrive it
+//! releases dependent transfers and records per-instance completion
+//! times. The §5 metric — the slowest group's completion time — is
+//! [`Driver::tail_completion`].
+
+use crate::schedule::Schedule;
+use netsim::event::{ControlMsg, Event};
+use netsim::types::{HostId, NodeId, QpId};
+use netsim::world::{Ctx, Entity, World};
+use rnic::Nic;
+use simcore::rng::Xoshiro256;
+use simcore::stats::LogHistogram;
+use simcore::time::Nanos;
+use std::collections::HashMap;
+
+/// Allocates globally unique QP ids and flow entropy values.
+#[derive(Debug)]
+pub struct QpAllocator {
+    next: u32,
+    rng: Xoshiro256,
+}
+
+impl QpAllocator {
+    /// A fresh allocator.
+    pub fn new(seed: u64) -> QpAllocator {
+        QpAllocator {
+            next: 0,
+            rng: Xoshiro256::seeded(seed),
+        }
+    }
+
+    /// Allocate a QP id plus a random ephemeral UDP source port.
+    pub fn alloc(&mut self) -> (QpId, u16) {
+        let qp = QpId(self.next);
+        self.next += 1;
+        // Ephemeral port range 49152..65535.
+        let sport = 49152 + self.rng.next_below(16_384) as u16;
+        (qp, sport)
+    }
+
+    /// Number of QPs allocated so far.
+    pub fn allocated(&self) -> u32 {
+        self.next
+    }
+}
+
+/// A collective instance wired to concrete hosts and QPs.
+#[derive(Debug)]
+pub struct InstanceSpec {
+    /// Rank → host mapping.
+    pub hosts: Vec<HostId>,
+    /// The schedule.
+    pub schedule: Schedule,
+    /// Transfer index → QP carrying it.
+    pub qp_of_transfer: Vec<QpId>,
+}
+
+/// Create one reliable connection between two hosts, registering the
+/// driver on both NICs.
+fn create_qp(
+    world: &mut World,
+    driver_node: NodeId,
+    src_host: HostId,
+    dst_host: HostId,
+    alloc: &mut QpAllocator,
+) -> QpId {
+    let (qp, sport) = alloc.alloc();
+    // Reverse-direction entropy differs from forward so ACK streams do
+    // not necessarily share the forward path.
+    let reverse_sport = sport ^ 0x4000;
+    {
+        let nic: &mut Nic = world
+            .get_mut(NodeId(src_host.0))
+            .expect("sender NIC installed at NodeId(host)");
+        nic.create_send_qp(qp, dst_host, sport);
+        nic.set_driver(driver_node);
+    }
+    {
+        let nic: &mut Nic = world
+            .get_mut(NodeId(dst_host.0))
+            .expect("receiver NIC installed at NodeId(host)");
+        nic.create_recv_qp(qp, src_host, reverse_sport);
+        nic.set_driver(driver_node);
+    }
+    qp
+}
+
+/// Create the QPs for `schedule` over `hosts` and register the driver on
+/// every participating NIC. One QP per ordered rank pair per instance,
+/// matching how NCCL-style libraries reuse connections across steps.
+pub fn setup_collective(
+    world: &mut World,
+    driver_node: NodeId,
+    hosts: &[HostId],
+    schedule: Schedule,
+    alloc: &mut QpAllocator,
+) -> InstanceSpec {
+    assert_eq!(
+        hosts.len(),
+        schedule.n_ranks,
+        "host list must cover every rank"
+    );
+    let mut pair_qp: HashMap<(usize, usize), QpId> = HashMap::new();
+    let mut qp_of_transfer = Vec::with_capacity(schedule.transfers.len());
+    for t in &schedule.transfers {
+        let qp = *pair_qp
+            .entry((t.src, t.dst))
+            .or_insert_with(|| create_qp(world, driver_node, hosts[t.src], hosts[t.dst], alloc));
+        qp_of_transfer.push(qp);
+    }
+    InstanceSpec {
+        hosts: hosts.to_vec(),
+        schedule,
+        qp_of_transfer,
+    }
+}
+
+/// Like [`setup_collective`], but striping every transfer across
+/// `stripes` parallel QPs per rank pair, the way NCCL-style libraries
+/// spread one logical channel over several connections (the paper's §4
+/// sizing assumes up to 100 cross-rack QPs per NIC for Alltoall-heavy
+/// workloads).
+///
+/// Each transfer of B bytes is split into `stripes` sub-messages of
+/// ~B/stripes bytes, one per QP of the pair; the sub-transfers inherit
+/// the original dependencies, and every dependant waits for *all*
+/// stripes of its dependency (the driver's delivery bookkeeping treats
+/// each stripe as its own transfer).
+pub fn setup_collective_striped(
+    world: &mut World,
+    driver_node: NodeId,
+    hosts: &[HostId],
+    schedule: Schedule,
+    stripes: usize,
+    alloc: &mut QpAllocator,
+) -> InstanceSpec {
+    assert!(stripes >= 1, "need at least one stripe");
+    assert_eq!(
+        hosts.len(),
+        schedule.n_ranks,
+        "host list must cover every rank"
+    );
+    if stripes == 1 {
+        return setup_collective(world, driver_node, hosts, schedule, alloc);
+    }
+    let mut pair_qps: HashMap<(usize, usize), Vec<QpId>> = HashMap::new();
+    let mut transfers = Vec::with_capacity(schedule.transfers.len() * stripes);
+    let mut qp_of_transfer = Vec::with_capacity(schedule.transfers.len() * stripes);
+    // Original transfer i becomes striped transfers i*stripes..(i+1)*stripes.
+    for t in &schedule.transfers {
+        let qps = pair_qps
+            .entry((t.src, t.dst))
+            .or_insert_with(|| {
+                (0..stripes)
+                    .map(|_| create_qp(world, driver_node, hosts[t.src], hosts[t.dst], alloc))
+                    .collect()
+            })
+            .clone();
+        let base = t.bytes / stripes as u64;
+        let remainder = t.bytes - base * stripes as u64;
+        for (s, &qp) in qps.iter().enumerate() {
+            let bytes = if s == 0 { base + remainder } else { base };
+            let deps = t
+                .deps
+                .iter()
+                .flat_map(|&d| (0..stripes).map(move |k| d * stripes + k))
+                .collect();
+            transfers.push(crate::schedule::Transfer {
+                src: t.src,
+                dst: t.dst,
+                bytes: bytes.max(1),
+                deps,
+            });
+            qp_of_transfer.push(qp);
+        }
+    }
+    InstanceSpec {
+        hosts: hosts.to_vec(),
+        schedule: Schedule {
+            name: schedule.name,
+            n_ranks: schedule.n_ranks,
+            transfers,
+        },
+        qp_of_transfer,
+    }
+}
+
+#[derive(Debug)]
+struct InstanceState {
+    spec: InstanceSpec,
+    remaining_deps: Vec<usize>,
+    dependents: Vec<Vec<usize>>,
+    delivered: Vec<bool>,
+    post_time: Vec<Option<Nanos>>,
+    delivery_time: Vec<Option<Nanos>>,
+    undelivered: usize,
+    completion: Option<Nanos>,
+}
+
+impl InstanceState {
+    fn new(spec: InstanceSpec) -> InstanceState {
+        let n = spec.schedule.transfers.len();
+        let mut dependents = vec![Vec::new(); n];
+        let mut remaining = vec![0usize; n];
+        for (i, t) in spec.schedule.transfers.iter().enumerate() {
+            remaining[i] = t.deps.len();
+            for &d in &t.deps {
+                dependents[d].push(i);
+            }
+        }
+        InstanceState {
+            spec,
+            remaining_deps: remaining,
+            dependents,
+            delivered: vec![false; n],
+            post_time: vec![None; n],
+            delivery_time: vec![None; n],
+            undelivered: n,
+            completion: None,
+        }
+    }
+}
+
+/// Timer token that kicks the workload off.
+pub const START_TOKEN: u64 = 0;
+
+/// The workload-driver entity.
+#[derive(Debug, Default)]
+pub struct Driver {
+    instances: Vec<InstanceState>,
+    started_at: Option<Nanos>,
+    /// Deliveries received for unknown tags (accounting bug canary).
+    pub stray_deliveries: u64,
+}
+
+impl Driver {
+    /// An empty driver; add instances before the run starts.
+    pub fn new() -> Driver {
+        Driver::default()
+    }
+
+    /// Register an instance; returns its index.
+    pub fn add_instance(&mut self, spec: InstanceSpec) -> usize {
+        spec.schedule.validate();
+        assert_eq!(spec.qp_of_transfer.len(), spec.schedule.transfers.len());
+        self.instances.push(InstanceState::new(spec));
+        self.instances.len() - 1
+    }
+
+    /// When the workload was kicked off.
+    pub fn started_at(&self) -> Option<Nanos> {
+        self.started_at
+    }
+
+    /// Completion time of instance `i` (absolute).
+    pub fn completion_of(&self, i: usize) -> Option<Nanos> {
+        self.instances.get(i).and_then(|s| s.completion)
+    }
+
+    /// The slowest instance's completion time — the paper's §5 metric.
+    /// `None` until every instance has completed.
+    pub fn tail_completion(&self) -> Option<Nanos> {
+        self.instances
+            .iter()
+            .map(|s| s.completion)
+            .collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().max().unwrap_or(Nanos::ZERO))
+    }
+
+    /// All per-instance completion times.
+    pub fn completions(&self) -> Vec<Option<Nanos>> {
+        self.instances.iter().map(|s| s.completion).collect()
+    }
+
+    /// Whether every instance completed.
+    pub fn all_complete(&self) -> bool {
+        self.instances.iter().all(|s| s.completion.is_some())
+    }
+
+    /// Number of instances.
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Per-transfer delivery timestamps of instance `i` (per-flow
+    /// throughput extraction, Fig 1d).
+    pub fn delivery_times(&self, i: usize) -> &[Option<Nanos>] {
+        &self.instances[i].delivery_time
+    }
+
+    /// The wired spec of instance `i` (QP ids for trace enablement).
+    pub fn instance_spec(&self, i: usize) -> &InstanceSpec {
+        &self.instances[i].spec
+    }
+
+    /// Histogram of per-transfer latencies (post → in-order delivery) in
+    /// nanoseconds, across every completed transfer of every instance.
+    pub fn latency_histogram(&self) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for st in &self.instances {
+            for (post, done) in st.post_time.iter().zip(&st.delivery_time) {
+                if let (Some(p), Some(d)) = (post, done) {
+                    h.record(d.since(*p).as_nanos());
+                }
+            }
+        }
+        h
+    }
+
+    fn encode_tag(instance: usize, transfer: usize) -> u64 {
+        ((instance as u64) << 32) | transfer as u64
+    }
+
+    fn decode_tag(tag: u64) -> (usize, usize) {
+        ((tag >> 32) as usize, (tag & 0xFFFF_FFFF) as usize)
+    }
+
+    fn post(&mut self, inst: usize, transfer: usize, ctx: &mut Ctx<'_>) {
+        let st = &mut self.instances[inst];
+        st.post_time[transfer] = Some(ctx.now());
+        let t = &st.spec.schedule.transfers[transfer];
+        let src_host = st.spec.hosts[t.src];
+        ctx.control(
+            NodeId(src_host.0),
+            ControlMsg::PostSend {
+                qp: st.spec.qp_of_transfer[transfer],
+                bytes: t.bytes,
+                msg_tag: Self::encode_tag(inst, transfer),
+            },
+        );
+    }
+
+    fn start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.started_at.is_some() {
+            return;
+        }
+        self.started_at = Some(ctx.now());
+        for inst in 0..self.instances.len() {
+            let roots: Vec<usize> = self.instances[inst].spec.schedule.roots().collect();
+            for r in roots {
+                self.post(inst, r, ctx);
+            }
+        }
+    }
+
+    fn on_delivered(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        let (inst, transfer) = Self::decode_tag(tag);
+        let Some(st) = self.instances.get_mut(inst) else {
+            self.stray_deliveries += 1;
+            return;
+        };
+        if transfer >= st.delivered.len() || st.delivered[transfer] {
+            self.stray_deliveries += 1;
+            return;
+        }
+        st.delivered[transfer] = true;
+        st.delivery_time[transfer] = Some(ctx.now());
+        st.undelivered -= 1;
+        if st.undelivered == 0 {
+            st.completion = Some(ctx.now());
+        }
+        let mut ready = Vec::new();
+        let dependents = std::mem::take(&mut st.dependents[transfer]);
+        for &d in &dependents {
+            st.remaining_deps[d] -= 1;
+            if st.remaining_deps[d] == 0 {
+                ready.push(d);
+            }
+        }
+        st.dependents[transfer] = dependents;
+        for d in ready {
+            self.post(inst, d, ctx);
+        }
+    }
+}
+
+impl Entity for Driver {
+    fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        match ev {
+            Event::Timer { token: START_TOKEN } => self.start(ctx),
+            Event::Control(ControlMsg::MessageDelivered { msg_tag, .. }) => {
+                self.on_delivered(msg_tag, ctx);
+            }
+            Event::Control(ControlMsg::MessageAcked { .. }) => {
+                // Sender-side completions are informational only.
+            }
+            _ => debug_assert!(false, "unexpected event at driver: {ev:?}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{ring_allreduce, ring_once};
+    use netsim::port::{EgressPort, LinkSpec};
+    use netsim::types::PortId;
+    use rnic::NicConfig;
+
+    const GBPS100: u64 = 100_000_000_000;
+
+    /// Two hosts wired back-to-back plus a driver.
+    fn two_host_world() -> (World, NodeId) {
+        let mut world = World::new();
+        let a = world.reserve();
+        let b = world.reserve();
+        let link = LinkSpec::gbps(100, 1);
+        world.install(
+            a,
+            Box::new(Nic::new(
+                HostId(0),
+                NicConfig::nic_sr(GBPS100),
+                EgressPort::new(b, PortId(0), link),
+            )),
+        );
+        world.install(
+            b,
+            Box::new(Nic::new(
+                HostId(1),
+                NicConfig::nic_sr(GBPS100),
+                EgressPort::new(a, PortId(0), link),
+            )),
+        );
+        let driver = world.reserve();
+        (world, driver)
+    }
+
+    #[test]
+    fn qp_allocator_is_unique_and_in_range() {
+        let mut a = QpAllocator::new(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let (qp, sport) = a.alloc();
+            assert!(seen.insert(qp));
+            assert!(sport >= 49152);
+        }
+        assert_eq!(a.allocated(), 100);
+    }
+
+    #[test]
+    fn ring_once_two_ranks_completes() {
+        let (mut world, driver_node) = two_host_world();
+        let mut alloc = QpAllocator::new(7);
+        let hosts = [HostId(0), HostId(1)];
+        let spec = setup_collective(
+            &mut world,
+            driver_node,
+            &hosts,
+            ring_once(2, 500_000),
+            &mut alloc,
+        );
+        let mut driver = Driver::new();
+        driver.add_instance(spec);
+        world.install(driver_node, Box::new(driver));
+        world.seed_event(Nanos::ZERO, driver_node, Event::Timer { token: START_TOKEN });
+        world.run_until(Nanos::from_millis(100));
+        let d: &Driver = world.get(driver_node).unwrap();
+        assert!(d.all_complete());
+        assert_eq!(d.stray_deliveries, 0);
+        let ct = d.tail_completion().unwrap();
+        // 500 KB at 100 Gbps ≈ 40 µs minimum.
+        assert!(ct > Nanos::from_micros(40));
+        assert!(ct < Nanos::from_millis(1));
+    }
+
+    #[test]
+    fn dependency_chain_serializes_steps() {
+        // 2-rank ring allreduce: 2 steps, step 1 waits for step 0.
+        let (mut world, driver_node) = two_host_world();
+        let mut alloc = QpAllocator::new(7);
+        let hosts = [HostId(0), HostId(1)];
+        let bytes_total = 1_000_000u64;
+        let spec = setup_collective(
+            &mut world,
+            driver_node,
+            &hosts,
+            ring_allreduce(2, bytes_total),
+            &mut alloc,
+        );
+        let mut driver = Driver::new();
+        driver.add_instance(spec);
+        world.install(driver_node, Box::new(driver));
+        world.seed_event(Nanos::ZERO, driver_node, Event::Timer { token: START_TOKEN });
+        world.run_until(Nanos::from_millis(100));
+        let d: &Driver = world.get(driver_node).unwrap();
+        assert!(d.all_complete());
+        let ct = d.tail_completion().unwrap().as_secs_f64();
+        // Two dependent steps of total/2 bytes each: at least
+        // 2 × (500 KB / 100 Gbps) = 80 µs.
+        assert!(ct >= 80e-6, "dependent steps cannot overlap: {ct}");
+    }
+
+    #[test]
+    fn qps_are_shared_per_pair() {
+        let (mut world, driver_node) = two_host_world();
+        let mut alloc = QpAllocator::new(7);
+        let hosts = [HostId(0), HostId(1)];
+        // 2-rank allreduce: 2 transfers, both 0->1 ... plus 1->0:
+        // pairs (0,1) and (1,0) across both steps -> exactly 2 QPs.
+        let spec = setup_collective(
+            &mut world,
+            driver_node,
+            &hosts,
+            ring_allreduce(2, 1_000_000),
+            &mut alloc,
+        );
+        assert_eq!(alloc.allocated(), 2);
+        let unique: std::collections::HashSet<QpId> =
+            spec.qp_of_transfer.iter().copied().collect();
+        assert_eq!(unique.len(), 2);
+    }
+
+    #[test]
+    fn striped_setup_creates_stripes_qps_per_pair() {
+        let (mut world, driver_node) = two_host_world();
+        let mut alloc = QpAllocator::new(7);
+        let hosts = [HostId(0), HostId(1)];
+        let spec = setup_collective_striped(
+            &mut world,
+            driver_node,
+            &hosts,
+            ring_once(2, 1_000_000),
+            4,
+            &mut alloc,
+        );
+        // 2 ordered pairs x 4 stripes.
+        assert_eq!(alloc.allocated(), 8);
+        assert_eq!(spec.schedule.transfers.len(), 8);
+        spec.schedule.validate();
+        // Byte split: each original 1 MB transfer becomes 4 x 250 KB.
+        let total: u64 = spec.schedule.transfers.iter().map(|t| t.bytes).sum();
+        assert_eq!(total, 2_000_000);
+    }
+
+    #[test]
+    fn striped_ring_completes_and_balances_qps() {
+        let (mut world, driver_node) = two_host_world();
+        let mut alloc = QpAllocator::new(7);
+        let hosts = [HostId(0), HostId(1)];
+        let spec = setup_collective_striped(
+            &mut world,
+            driver_node,
+            &hosts,
+            crate::ring::ring_allreduce(2, 800_000),
+            4,
+            &mut alloc,
+        );
+        let mut driver = Driver::new();
+        driver.add_instance(spec);
+        world.install(driver_node, Box::new(driver));
+        world.seed_event(Nanos::ZERO, driver_node, Event::Timer { token: START_TOKEN });
+        world.run_until(Nanos::from_millis(100));
+        let d: &Driver = world.get(driver_node).unwrap();
+        assert!(d.all_complete(), "striped allreduce completes");
+        assert_eq!(d.stray_deliveries, 0);
+        // Every stripe QP carried data.
+        let nic: &Nic = world.get(NodeId(0)).unwrap();
+        for qp in nic.send_qps() {
+            assert!(qp.stats.data_packets > 0, "idle stripe QP");
+        }
+    }
+
+    #[test]
+    fn one_stripe_degenerates_to_plain_setup() {
+        let (mut world, driver_node) = two_host_world();
+        let mut alloc = QpAllocator::new(7);
+        let hosts = [HostId(0), HostId(1)];
+        let spec = setup_collective_striped(
+            &mut world,
+            driver_node,
+            &hosts,
+            ring_once(2, 500_000),
+            1,
+            &mut alloc,
+        );
+        assert_eq!(alloc.allocated(), 2);
+        assert_eq!(spec.schedule.transfers.len(), 2);
+    }
+
+    #[test]
+    fn latency_histogram_covers_all_transfers() {
+        let (mut world, driver_node) = two_host_world();
+        let mut alloc = QpAllocator::new(7);
+        let hosts = [HostId(0), HostId(1)];
+        let spec = setup_collective(
+            &mut world,
+            driver_node,
+            &hosts,
+            crate::ring::ring_allreduce(2, 400_000),
+            &mut alloc,
+        );
+        let n_transfers = spec.schedule.transfers.len();
+        let mut driver = Driver::new();
+        driver.add_instance(spec);
+        world.install(driver_node, Box::new(driver));
+        world.seed_event(Nanos::ZERO, driver_node, Event::Timer { token: START_TOKEN });
+        world.run_until(Nanos::from_millis(100));
+        let d: &Driver = world.get(driver_node).unwrap();
+        let h = d.latency_histogram();
+        assert_eq!(h.count() as usize, n_transfers);
+        // Each 200 KB step takes at least its serialization time (~16 us).
+        assert!(h.min().unwrap() > 10_000, "min {}ns", h.min().unwrap());
+        assert!(h.quantile(0.99).unwrap() >= h.quantile(0.5).unwrap());
+    }
+
+    #[test]
+    fn tail_completion_none_until_all_done() {
+        let mut d = Driver::new();
+        assert!(d.tail_completion().is_some(), "vacuously complete when empty");
+        let spec = InstanceSpec {
+            hosts: vec![HostId(0), HostId(1)],
+            schedule: ring_once(2, 100),
+            qp_of_transfer: vec![QpId(0), QpId(1)],
+        };
+        d.add_instance(spec);
+        assert!(d.tail_completion().is_none());
+        assert!(!d.all_complete());
+    }
+}

@@ -1,0 +1,69 @@
+//! Communication-group construction (§5).
+//!
+//! The evaluation divides 256 NICs into 16 groups of 16 with *each NIC in
+//! a group connected to a different ToR switch*: group `g` consists of
+//! host `t · hosts_per_tor + g` for every rack `t`. Ring neighbours are
+//! therefore always cross-rack, and all groups stress the fabric core
+//! simultaneously.
+//!
+//! The Fig 1a motivation groups are the same construction on a 4×2
+//! fabric: evens {0,2,4,6} and odds {1,3,5,7}.
+
+use netsim::types::HostId;
+
+/// Hosts of group `g`: one per rack, at local slot `g`.
+pub fn group_hosts(n_tors: usize, hosts_per_tor: usize, g: usize) -> Vec<HostId> {
+    assert!(g < hosts_per_tor, "group index exceeds hosts per rack");
+    (0..n_tors)
+        .map(|t| HostId((t * hosts_per_tor + g) as u32))
+        .collect()
+}
+
+/// All `hosts_per_tor` groups of the fabric.
+pub fn all_groups(n_tors: usize, hosts_per_tor: usize) -> Vec<Vec<HostId>> {
+    (0..hosts_per_tor)
+        .map(|g| group_hosts(n_tors, hosts_per_tor, g))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_eval_groups() {
+        let groups = all_groups(16, 16);
+        assert_eq!(groups.len(), 16);
+        for (g, hosts) in groups.iter().enumerate() {
+            assert_eq!(hosts.len(), 16);
+            // One host per rack: rack of host h is h / 16.
+            let racks: Vec<usize> = hosts.iter().map(|h| h.index() / 16).collect();
+            assert_eq!(racks, (0..16).collect::<Vec<_>>());
+            // Local slot is the group index.
+            assert!(hosts.iter().all(|h| h.index() % 16 == g));
+        }
+        // Groups partition the host set.
+        let mut all: Vec<u32> = groups.concat().iter().map(|h| h.0).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..256).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn motivation_groups_are_evens_and_odds() {
+        let groups = all_groups(4, 2);
+        assert_eq!(
+            groups[0].iter().map(|h| h.0).collect::<Vec<_>>(),
+            vec![0, 2, 4, 6]
+        );
+        assert_eq!(
+            groups[1].iter().map(|h| h.0).collect::<Vec<_>>(),
+            vec![1, 3, 5, 7]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn group_index_bounds_checked() {
+        group_hosts(4, 2, 2);
+    }
+}

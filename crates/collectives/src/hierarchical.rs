@@ -1,0 +1,198 @@
+//! Hierarchical (two-level) Allreduce.
+//!
+//! NCCL-style rack-aware algorithm over `groups` racks × `locals` ranks
+//! per rack (global rank = `rack * locals + local`):
+//!
+//! 1. **Local reduce-scatter** — a ring within each rack (N−1 steps over
+//!    intra-rack links) leaves each local rank holding `1/locals` of the
+//!    rack's reduced buffer.
+//! 2. **Cross-rack Allreduce** — `locals` simultaneous ring Allreduces,
+//!    one per local index, each spanning one rank per rack (all hops
+//!    cross-rack — the traffic Themis targets).
+//! 3. **Local allgather** — the intra-rack ring redistributes the fully
+//!    reduced shards.
+//!
+//! Compared with one flat ring over all ranks, the cross-rack phase moves
+//! `1/locals` of the bytes over the core — exactly why production systems
+//! use hierarchical algorithms, and a natural mixed intra/inter-rack
+//! workload for the simulator.
+
+use crate::schedule::{Schedule, Transfer};
+
+/// Build the two-level Allreduce schedule.
+///
+/// `total_bytes` is the per-rank buffer size. Requires at least two racks
+/// and two local ranks (degenerate shapes fall back to plain rings at the
+/// caller's choice).
+pub fn hierarchical_allreduce(groups: usize, locals: usize, total_bytes: u64) -> Schedule {
+    assert!(groups >= 2, "need at least two racks");
+    assert!(locals >= 2, "need at least two local ranks per rack");
+    let n = groups * locals;
+    let rank = |g: usize, l: usize| g * locals + l;
+    let local_chunk = (total_bytes / locals as u64).max(1);
+    let cross_chunk = (local_chunk / groups as u64).max(1);
+
+    let mut transfers: Vec<Transfer> = Vec::new();
+    // Index bookkeeping: phase-1 transfer (g, step s, local l) etc.
+    let mut p1_idx = vec![vec![0usize; locals]; groups * (locals - 1)];
+    // --- Phase 1: local reduce-scatter rings (locals-1 steps) --------
+    for s in 0..locals - 1 {
+        for g in 0..groups {
+            #[allow(clippy::needless_range_loop)] // l indexes p1_idx and ranks
+            for l in 0..locals {
+                let deps = if s == 0 {
+                    vec![]
+                } else {
+                    vec![p1_idx[(s - 1) * groups + g][(l + locals - 1) % locals]]
+                };
+                p1_idx[s * groups + g][l] = transfers.len();
+                transfers.push(Transfer {
+                    src: rank(g, l),
+                    dst: rank(g, (l + 1) % locals),
+                    bytes: local_chunk,
+                    deps,
+                });
+            }
+        }
+    }
+    // Phase-1 completion markers per (g, l): the receive that finishes
+    // rank (g, l)'s shard is the last-step transfer from its predecessor.
+    let p1_done = |g: usize, l: usize| -> usize {
+        p1_idx[(locals - 2) * groups + g][(l + locals - 1) % locals]
+    };
+
+    // --- Phase 2: cross-rack ring Allreduce per local index ----------
+    // 2(groups-1) steps of cross_chunk bytes between (g, l) -> (g+1, l).
+    let steps2 = 2 * (groups - 1);
+    let mut p2_idx = vec![vec![0usize; locals]; steps2 * groups];
+    for s in 0..steps2 {
+        for g in 0..groups {
+            #[allow(clippy::needless_range_loop)] // l indexes three parallel tables
+            for l in 0..locals {
+                let deps = if s == 0 {
+                    // Start once this rank's phase-1 shard is complete.
+                    vec![p1_done(g, l)]
+                } else {
+                    vec![p2_idx[(s - 1) * groups + (g + groups - 1) % groups][l]]
+                };
+                p2_idx[s * groups + g][l] = transfers.len();
+                transfers.push(Transfer {
+                    src: rank(g, l),
+                    dst: rank((g + 1) % groups, l),
+                    bytes: cross_chunk,
+                    deps,
+                });
+            }
+        }
+    }
+    let p2_done = |g: usize, l: usize| -> usize {
+        p2_idx[(steps2 - 1) * groups + (g + groups - 1) % groups][l]
+    };
+
+    // --- Phase 3: local allgather rings (locals-1 steps) -------------
+    let mut p3_prev: Vec<Vec<usize>> = vec![vec![0; locals]; groups];
+    for s in 0..locals - 1 {
+        #[allow(clippy::needless_range_loop)] // g indexes p3_prev and ranks
+        for g in 0..groups {
+            let prev = p3_prev[g].clone();
+            for l in 0..locals {
+                let deps = if s == 0 {
+                    vec![p2_done(g, l)]
+                } else {
+                    vec![prev[(l + locals - 1) % locals]]
+                };
+                p3_prev[g][l] = transfers.len();
+                transfers.push(Transfer {
+                    src: rank(g, l),
+                    dst: rank(g, (l + 1) % locals),
+                    bytes: local_chunk,
+                    deps,
+                });
+            }
+        }
+    }
+
+    Schedule {
+        name: "allreduce-hierarchical",
+        n_ranks: n,
+        transfers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_and_validity() {
+        let (groups, locals) = (4, 4);
+        let s = hierarchical_allreduce(groups, locals, 16 << 20);
+        s.validate();
+        let n = groups * locals;
+        // Phase 1: (locals-1)*n, phase 2: 2(groups-1)*n, phase 3: (locals-1)*n.
+        let expected = (locals - 1) * n + 2 * (groups - 1) * n + (locals - 1) * n;
+        assert_eq!(s.transfers.len(), expected);
+        // Depth: phases chain sequentially.
+        let depth = s.validate();
+        assert_eq!(depth, (locals - 2) + 1 + (2 * (groups - 1) - 1) + 1 + (locals - 2));
+    }
+
+    #[test]
+    fn cross_rack_volume_is_reduced_by_locals() {
+        let (groups, locals) = (4, 4);
+        let total = 16u64 << 20;
+        let s = hierarchical_allreduce(groups, locals, total);
+        let rank_of = |r: usize| (r / locals, r % locals);
+        let mut cross = 0u64;
+        let mut local = 0u64;
+        for t in &s.transfers {
+            let (gs, _) = rank_of(t.src);
+            let (gd, _) = rank_of(t.dst);
+            if gs == gd {
+                local += t.bytes;
+            } else {
+                cross += t.bytes;
+            }
+        }
+        // Flat ring would move 2(n-1)/n * total per rank over the core
+        // for cross-rack hops; hierarchical moves 2(groups-1) *
+        // total/(locals*groups) per rank.
+        let n = (groups * locals) as u64;
+        let per_rank_cross = 2 * (groups as u64 - 1) * (total / locals as u64 / groups as u64);
+        assert_eq!(cross, n * per_rank_cross);
+        assert!(local > 0);
+        // The core sees `locals`x less traffic than a flat ring's
+        // cross-rack volume would be at the same per-step chunking.
+        let flat_cross_estimate = n * 2 * (n - 1) * (total / n);
+        assert!(cross * locals as u64 <= flat_cross_estimate);
+    }
+
+    #[test]
+    fn phases_chain_through_dependencies() {
+        let s = hierarchical_allreduce(2, 2, 1 << 20);
+        s.validate();
+        // Phase-2 roots depend on phase-1 transfers; phase-3 on phase-2.
+        let n = 4;
+        let p1 = n; // (locals-1)=1 local step -> 4 transfers
+        let p2 = 2 * n; // 2(groups-1)=2 cross steps -> 8 transfers
+        for i in p1..p1 + n {
+            assert!(
+                s.transfers[i].deps.iter().all(|&d| d < p1),
+                "phase-2 roots depend on phase 1"
+            );
+            assert!(!s.transfers[i].deps.is_empty());
+        }
+        for i in p1 + p2..p1 + p2 + n {
+            assert!(s.transfers[i]
+                .deps
+                .iter()
+                .all(|&d| (p1..p1 + p2).contains(&d)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two racks")]
+    fn rejects_single_rack() {
+        hierarchical_allreduce(1, 4, 1 << 20);
+    }
+}

@@ -1,0 +1,164 @@
+//! Ring collectives.
+//!
+//! The workhorse of AI training communication: ring Allreduce over `N`
+//! ranks runs a reduce-scatter phase (N−1 steps) followed by an allgather
+//! phase (N−1 steps). In every step each rank sends one chunk of
+//! `total / N` bytes to its ring successor, and a step's send depends on
+//! having received the predecessor's chunk from the previous step —
+//! exactly the synchronized, few-large-flows pattern that collides under
+//! ECMP (§2.1).
+
+use crate::schedule::{Schedule, Transfer};
+
+/// Index of the transfer sent by `rank` in `step` for an `n`-rank ring.
+fn idx(step: usize, rank: usize, n: usize) -> usize {
+    step * n + rank
+}
+
+/// A generic `steps`-step ring pipeline: in each step every rank sends
+/// `chunk` bytes to `(rank + 1) % n`, depending on its receive from the
+/// previous step.
+fn ring_pipeline(name: &'static str, n: usize, steps: usize, chunk: u64) -> Schedule {
+    assert!(n >= 2, "ring needs at least two ranks");
+    assert!(chunk > 0, "chunk must be positive");
+    let mut transfers = Vec::with_capacity(steps * n);
+    for step in 0..steps {
+        for rank in 0..n {
+            let deps = if step == 0 {
+                vec![]
+            } else {
+                // Rank r forwards in step s what it received in step s-1,
+                // i.e. the transfer sent by its ring predecessor.
+                vec![idx(step - 1, (rank + n - 1) % n, n)]
+            };
+            transfers.push(Transfer {
+                src: rank,
+                dst: (rank + 1) % n,
+                bytes: chunk,
+                deps,
+            });
+        }
+    }
+    Schedule {
+        name,
+        n_ranks: n,
+        transfers,
+    }
+}
+
+/// Ring Allreduce of a `total_bytes` buffer over `n` ranks:
+/// 2(N−1) steps of `total / N`-byte chunks.
+pub fn ring_allreduce(n: usize, total_bytes: u64) -> Schedule {
+    let chunk = (total_bytes / n as u64).max(1);
+    ring_pipeline("allreduce-ring", n, 2 * (n - 1), chunk)
+}
+
+/// Ring ReduceScatter: N−1 steps.
+pub fn ring_reduce_scatter(n: usize, total_bytes: u64) -> Schedule {
+    let chunk = (total_bytes / n as u64).max(1);
+    ring_pipeline("reduce-scatter-ring", n, n - 1, chunk)
+}
+
+/// Ring AllGather: N−1 steps.
+pub fn ring_allgather(n: usize, total_bytes: u64) -> Schedule {
+    let chunk = (total_bytes / n as u64).max(1);
+    ring_pipeline("allgather-ring", n, n - 1, chunk)
+}
+
+/// The Fig 1 motivation pattern: a plain ring where every rank sends one
+/// `bytes`-sized message to its successor, all starting at once ("each
+/// node sends 100 MB to the next node within the same group").
+pub fn ring_once(n: usize, bytes: u64) -> Schedule {
+    assert!(n >= 2);
+    Schedule {
+        name: "ring-once",
+        n_ranks: n,
+        transfers: (0..n)
+            .map(|rank| Transfer {
+                src: rank,
+                dst: (rank + 1) % n,
+                bytes,
+                deps: vec![],
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_structure() {
+        let n = 16;
+        let s = ring_allreduce(n, 300 * 1024 * 1024);
+        assert_eq!(s.transfers.len(), 2 * (n - 1) * n);
+        // Depth = number of steps - 1.
+        assert_eq!(s.validate(), 2 * (n - 1) - 1);
+        // Every rank sends 2(N-1)/N of the buffer.
+        let per_rank = s.bytes_sent_by(0);
+        let expected = 2 * (n as u64 - 1) * (300 * 1024 * 1024 / n as u64);
+        assert_eq!(per_rank, expected);
+        for r in 1..n {
+            assert_eq!(s.bytes_sent_by(r), per_rank);
+        }
+    }
+
+    #[test]
+    fn allreduce_moves_2n_minus_1_over_n_volume() {
+        let n = 8u64;
+        let total = 80_000u64;
+        let s = ring_allreduce(n as usize, total);
+        assert_eq!(s.total_wire_bytes(), 2 * (n - 1) * n * (total / n) / n * n / n * n);
+        // Plainly: n ranks × 2(n−1) chunks of total/n.
+        assert_eq!(
+            s.total_wire_bytes(),
+            n * 2 * (n - 1) * (total / n)
+        );
+    }
+
+    #[test]
+    fn step_zero_is_root_everything_else_chains() {
+        let n = 4;
+        let s = ring_allreduce(n, 4000);
+        let roots: Vec<usize> = s.roots().collect();
+        assert_eq!(roots, (0..n).collect::<Vec<_>>());
+        // Step 1 rank 2 depends on step 0 rank 1.
+        assert_eq!(s.transfers[idx(1, 2, n)].deps, vec![idx(0, 1, n)]);
+        // Wrap-around: step 1 rank 0 depends on step 0 rank n-1.
+        assert_eq!(s.transfers[idx(1, 0, n)].deps, vec![idx(0, 3, n)]);
+    }
+
+    #[test]
+    fn reduce_scatter_and_allgather_are_half_an_allreduce() {
+        let n = 16;
+        let rs = ring_reduce_scatter(n, 1 << 20);
+        let ag = ring_allgather(n, 1 << 20);
+        let ar = ring_allreduce(n, 1 << 20);
+        assert_eq!(
+            rs.transfers.len() + ag.transfers.len(),
+            ar.transfers.len()
+        );
+        rs.validate();
+        ag.validate();
+    }
+
+    #[test]
+    fn ring_once_matches_motivation_pattern() {
+        let s = ring_once(4, 100 * 1024 * 1024);
+        assert_eq!(s.transfers.len(), 4);
+        assert_eq!(s.validate(), 0, "all transfers independent");
+        // 0->1, 1->2, 2->3, 3->0.
+        for (i, t) in s.transfers.iter().enumerate() {
+            assert_eq!(t.src, i);
+            assert_eq!(t.dst, (i + 1) % 4);
+        }
+    }
+
+    #[test]
+    fn tiny_buffers_still_produce_valid_chunks() {
+        let s = ring_allreduce(16, 10); // total < n
+        s.validate();
+        assert!(s.transfers.iter().all(|t| t.bytes == 1));
+    }
+}

@@ -1,0 +1,186 @@
+//! Dependency-DAG representation of a collective.
+//!
+//! A [`Schedule`] lists point-to-point [`Transfer`]s between *ranks*
+//! (indices into a group's host list) plus happens-before edges: a
+//! transfer may be posted only after all transfers it depends on have
+//! been fully *delivered* at their destinations. This captures the data
+//! dependencies of ring algorithms (step `s` forwards data received in
+//! step `s−1`) while letting dependency-free collectives (Alltoall) fire
+//! everything at once.
+
+/// One point-to-point message within a collective.
+#[derive(Debug, Clone)]
+pub struct Transfer {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Message length in bytes.
+    pub bytes: u64,
+    /// Indices of transfers that must be delivered before this one posts.
+    pub deps: Vec<usize>,
+}
+
+/// A complete collective schedule over `n_ranks` ranks.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Human-readable name ("allreduce-ring", ...).
+    pub name: &'static str,
+    /// Number of participating ranks.
+    pub n_ranks: usize,
+    /// The transfers; indices are the dependency namespace.
+    pub transfers: Vec<Transfer>,
+}
+
+impl Schedule {
+    /// Total bytes moved over the network by this schedule.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.transfers.iter().map(|t| t.bytes).sum()
+    }
+
+    /// Bytes sent by one rank.
+    pub fn bytes_sent_by(&self, rank: usize) -> u64 {
+        self.transfers
+            .iter()
+            .filter(|t| t.src == rank)
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Transfers with no dependencies (postable at t = 0).
+    pub fn roots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.transfers
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.deps.is_empty())
+            .map(|(i, _)| i)
+    }
+
+    /// Validate structural invariants: rank bounds, no self-messages,
+    /// dependency indices in range, and acyclicity. Returns the
+    /// topological depth (longest dependency chain length).
+    ///
+    /// # Panics
+    /// Panics on an invalid schedule; schedules are build-time artifacts,
+    /// so an invalid one is a programming error.
+    pub fn validate(&self) -> usize {
+        let n = self.transfers.len();
+        let mut depth = vec![usize::MAX; n];
+
+        fn visit(
+            i: usize,
+            transfers: &[Transfer],
+            depth: &mut [usize],
+            on_stack: &mut [bool],
+        ) -> usize {
+            if depth[i] != usize::MAX {
+                return depth[i];
+            }
+            assert!(!on_stack[i], "dependency cycle through transfer {i}");
+            on_stack[i] = true;
+            let d = transfers[i]
+                .deps
+                .iter()
+                .map(|&d| visit(d, transfers, depth, on_stack) + 1)
+                .max()
+                .unwrap_or(0);
+            on_stack[i] = false;
+            depth[i] = d;
+            d
+        }
+
+        let mut on_stack = vec![false; n];
+        let mut max_depth = 0;
+        for (i, t) in self.transfers.iter().enumerate() {
+            assert!(t.src < self.n_ranks, "transfer {i}: src out of range");
+            assert!(t.dst < self.n_ranks, "transfer {i}: dst out of range");
+            assert_ne!(t.src, t.dst, "transfer {i}: self-message");
+            assert!(t.bytes > 0, "transfer {i}: empty message");
+            for &d in &t.deps {
+                assert!(d < n, "transfer {i}: dep {d} out of range");
+            }
+            max_depth = max_depth.max(visit(i, &self.transfers, &mut depth, &mut on_stack));
+        }
+        max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_step() -> Schedule {
+        Schedule {
+            name: "test",
+            n_ranks: 2,
+            transfers: vec![
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    bytes: 100,
+                    deps: vec![],
+                },
+                Transfer {
+                    src: 1,
+                    dst: 0,
+                    bytes: 200,
+                    deps: vec![0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_and_roots() {
+        let s = two_step();
+        assert_eq!(s.total_wire_bytes(), 300);
+        assert_eq!(s.bytes_sent_by(0), 100);
+        assert_eq!(s.bytes_sent_by(1), 200);
+        assert_eq!(s.roots().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn validate_computes_depth() {
+        assert_eq!(two_step().validate(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn validate_rejects_cycles() {
+        let s = Schedule {
+            name: "cyclic",
+            n_ranks: 2,
+            transfers: vec![
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    bytes: 1,
+                    deps: vec![1],
+                },
+                Transfer {
+                    src: 1,
+                    dst: 0,
+                    bytes: 1,
+                    deps: vec![0],
+                },
+            ],
+        };
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "self-message")]
+    fn validate_rejects_self_message() {
+        let s = Schedule {
+            name: "bad",
+            n_ranks: 2,
+            transfers: vec![Transfer {
+                src: 1,
+                dst: 1,
+                bytes: 1,
+                deps: vec![],
+            }],
+        };
+        s.validate();
+    }
+}

@@ -1,0 +1,138 @@
+//! Link-failure tolerance (§6).
+//!
+//! When a fabric link fails, PSN-based spraying would keep steering a
+//! deterministic fraction of every flow onto the dead path. The paper's
+//! remedy: upon failure detection (via external monitoring such as
+//! Pingmesh \[17\]), the affected ToR *disables Themis and reverts to ECMP*
+//! until the failure clears.
+//!
+//! [`apply_failure_fallback`] performs that switch-local transition on a
+//! live [`Switch`]: the LB policy becomes ECMP and the Themis-S sprayer is
+//! disabled (in-flight NACK filtering remains armed so packets already in
+//! the fabric are still handled). [`restore_after_repair`] reverses it.
+
+use crate::middleware::ThemisMiddleware;
+use netsim::lb::LbPolicy;
+use netsim::switch::Switch;
+
+/// Revert a ToR to ECMP after a link failure. Returns true if a Themis
+/// middleware was present and disabled.
+pub fn apply_failure_fallback(sw: &mut Switch) -> bool {
+    sw.set_lb(LbPolicy::Ecmp);
+    if let Some(hook) = sw.hook_mut() {
+        if let Some(m) = hook.as_any_mut().downcast_mut::<ThemisMiddleware>() {
+            m.on_link_failure();
+            return true;
+        }
+    }
+    false
+}
+
+/// Restrict a ToR's Themis instance to a path subset (§6: dynamic
+/// pathset adjustment around partial failures). Returns true if a Themis
+/// middleware was present. Apply the same subset to every ToR of the
+/// fabric — the Eq. 3 modulus must agree between sources and
+/// destinations.
+pub fn apply_pathset_restriction(sw: &mut Switch, pathset: Option<Vec<usize>>) -> bool {
+    if let Some(hook) = sw.hook_mut() {
+        if let Some(m) = hook.as_any_mut().downcast_mut::<ThemisMiddleware>() {
+            m.set_pathset(pathset);
+            return true;
+        }
+    }
+    false
+}
+
+/// Re-enable Themis after the failed link is repaired.
+pub fn restore_after_repair(sw: &mut Switch, lb: LbPolicy) -> bool {
+    sw.set_lb(lb);
+    if let Some(hook) = sw.hook_mut() {
+        if let Some(m) = hook.as_any_mut().downcast_mut::<ThemisMiddleware>() {
+            m.on_link_recovery();
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThemisConfig;
+    use crate::themis_s::SprayMode;
+    use netsim::switch::SwitchConfig;
+    use simcore::time::TimeDelta;
+
+    fn tor_with_themis() -> Switch {
+        let mut sw = Switch::new(&SwitchConfig {
+            lb: LbPolicy::RandomSpray,
+            ..SwitchConfig::default()
+        });
+        let cfg = ThemisConfig {
+            n_paths: 2,
+            spray_mode: SprayMode::DirectEgress,
+            queue_capacity: 16,
+            compensation: true,
+            filtering: true,
+        };
+        sw.set_hook(Box::new(ThemisMiddleware::new(cfg)));
+        let _ = TimeDelta::ZERO;
+        sw
+    }
+
+    #[test]
+    fn fallback_reverts_to_ecmp_and_disables_spray() {
+        let mut sw = tor_with_themis();
+        assert!(apply_failure_fallback(&mut sw));
+        assert_eq!(sw.lb(), LbPolicy::Ecmp);
+        let m = sw
+            .hook()
+            .unwrap()
+            .as_any()
+            .downcast_ref::<ThemisMiddleware>()
+            .unwrap();
+        assert!(!m.s.is_enabled());
+    }
+
+    #[test]
+    fn restore_resumes_spraying() {
+        let mut sw = tor_with_themis();
+        apply_failure_fallback(&mut sw);
+        assert!(restore_after_repair(&mut sw, LbPolicy::RandomSpray));
+        assert_eq!(sw.lb(), LbPolicy::RandomSpray);
+        let m = sw
+            .hook()
+            .unwrap()
+            .as_any()
+            .downcast_ref::<ThemisMiddleware>()
+            .unwrap();
+        assert!(m.s.is_enabled());
+    }
+
+    #[test]
+    fn pathset_restriction_applies_to_both_halves() {
+        let mut sw = tor_with_themis();
+        assert!(apply_pathset_restriction(&mut sw, Some(vec![0])));
+        let m = sw
+            .hook()
+            .unwrap()
+            .as_any()
+            .downcast_ref::<ThemisMiddleware>()
+            .unwrap();
+        assert_eq!(m.s.effective_modulus(), 1);
+        assert_eq!(m.d.as_ref().unwrap().n_paths(), 1);
+    }
+
+    #[test]
+    fn pathset_restriction_without_themis_reports_false() {
+        let mut sw = Switch::new(&SwitchConfig::default());
+        assert!(!apply_pathset_restriction(&mut sw, Some(vec![0])));
+    }
+
+    #[test]
+    fn fallback_without_themis_reports_false() {
+        let mut sw = Switch::new(&SwitchConfig::default());
+        assert!(!apply_failure_fallback(&mut sw));
+        assert_eq!(sw.lb(), LbPolicy::Ecmp);
+    }
+}

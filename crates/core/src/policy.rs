@@ -1,0 +1,192 @@
+//! The PSN-based spraying policy and NACK-validity condition (Eq. 1–3).
+//!
+//! With `N` equal-cost paths indexed `0..N-1` and a flow whose ECMP base
+//! path is `P_base`, packet `i` takes
+//!
+//! ```text
+//! Path_i = (PSN_i mod N + P_base) mod N            (Eq. 1)
+//! ```
+//!
+//! which makes path membership a pure function of the PSN. A NACK whose
+//! triggering out-of-order packet has `tPSN` and whose expected packet has
+//! `ePSN` is valid — the expected packet is provably lost — exactly when
+//! both traveled the same path:
+//!
+//! ```text
+//! tPSN mod N == ePSN mod N                          (Eq. 3)
+//! ```
+//!
+//! ## PSN wrap-around
+//!
+//! Wire PSNs are 24-bit. `PSN mod N` remains continuous across the
+//! 2²⁴ → 0 wrap iff `N` divides 2²⁴ — i.e. `N` is a power of two (≤ 2²⁴).
+//! All fabrics in the paper (and all real Clos fabrics with power-of-two
+//! radix groups) satisfy this; [`assert_valid_path_count`] enforces it.
+
+/// Panic unless `n` is a valid Themis path count: a power of two (so
+/// `PSN mod N` survives 24-bit wrap-around) between 1 and 256 (so the
+/// 1-byte truncated PSNs of the §4 queue remain sufficient).
+pub fn assert_valid_path_count(n: usize) {
+    assert!(
+        (1..=256).contains(&n) && n.is_power_of_two(),
+        "Themis path count must be a power of two in 1..=256, got {n}"
+    );
+}
+
+/// Relative path of a packet within its flow: `PSN mod N` (step ① of
+/// Figure 3).
+///
+/// ```
+/// use themis_core::policy::relative_path;
+/// assert_eq!(relative_path(6, 4), 2);
+/// ```
+#[inline]
+pub fn relative_path(psn: u32, n_paths: usize) -> usize {
+    debug_assert!(n_paths > 0);
+    (psn as usize) % n_paths
+}
+
+/// Absolute path index of a packet (Eq. 1).
+#[inline]
+pub fn path_of(psn: u32, n_paths: usize, p_base: usize) -> usize {
+    (relative_path(psn, n_paths) + p_base) % n_paths
+}
+
+/// NACK validity (Eq. 3): the OOO packet that triggered the NACK took the
+/// same path as the expected packet, so the expected packet is truly lost.
+///
+/// The paper's §3.1 examples, with two paths:
+/// ```
+/// use themis_core::policy::nack_valid;
+/// // ePSN 0, triggering packet 2: same path -> the loss is real.
+/// assert!(nack_valid(2, 0, 2));
+/// // ePSN 0, triggering packet 1: other path -> just reordering.
+/// assert!(!nack_valid(1, 0, 2));
+/// ```
+#[inline]
+pub fn nack_valid(tpsn: u32, epsn: u32, n_paths: usize) -> bool {
+    relative_path(tpsn, n_paths) == relative_path(epsn, n_paths)
+}
+
+/// Eq. 3 on 1-byte truncated PSNs, as evaluated by the switch (§4 stores
+/// one byte per queue entry). Sound because `N | 256` for every valid
+/// path count: `x mod N == (x mod 256) mod N`.
+#[inline]
+pub fn nack_valid_truncated(tpsn_trunc: u8, epsn: u32, n_paths: usize) -> bool {
+    debug_assert!(256 % n_paths == 0, "truncated check requires N | 256");
+    (tpsn_trunc as usize) % n_paths == relative_path(epsn, n_paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_is_deterministic_and_uniform() {
+        // 1000 consecutive PSNs over 4 paths: exactly 250 each, and the
+        // assignment is a pure function of the PSN.
+        let n = 4;
+        let base = 3;
+        let mut counts = [0u32; 4];
+        for psn in 0..1000u32 {
+            let p = path_of(psn, n, base);
+            assert_eq!(p, path_of(psn, n, base));
+            counts[p] += 1;
+        }
+        assert_eq!(counts, [250; 4]);
+    }
+
+    #[test]
+    fn eq1_rotates_with_base() {
+        for psn in 0..32u32 {
+            for base in 0..8 {
+                assert_eq!(
+                    path_of(psn, 8, base),
+                    (path_of(psn, 8, 0) + base) % 8
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eq3_matches_paper_examples() {
+        // §3.1 examples with N = 2 (Figure 2): ePSN = 0.
+        // OOO packet PSN = 2 -> same path -> valid.
+        assert!(nack_valid(2, 0, 2));
+        // OOO packet PSN = 1 -> different path -> invalid.
+        assert!(!nack_valid(1, 0, 2));
+        // Figure 4b: tPSN 3 vs ePSN 2 -> 3 mod 2 != 2 mod 2 -> invalid.
+        assert!(!nack_valid(3, 2, 2));
+        // Figure 4b: tPSN 6 vs ePSN 4 -> 6 mod 2 == 4 mod 2 -> valid.
+        assert!(nack_valid(6, 4, 2));
+    }
+
+    #[test]
+    fn eq3_equivalent_to_path_equality() {
+        // Eq. 3 is exactly "same path" for every base (the base cancels).
+        for n in [1usize, 2, 4, 8, 16] {
+            for base in 0..n {
+                for t in 0..64u32 {
+                    for e in 0..64u32 {
+                        assert_eq!(
+                            nack_valid(t, e, n),
+                            path_of(t, n, base) == path_of(e, n, base),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mod_survives_24bit_wrap_for_powers_of_two() {
+        let wrap = 1u32 << 24;
+        for n in [2usize, 4, 16, 256] {
+            // The packet right after the wrap continues the cycle.
+            assert_eq!(relative_path(wrap - 1, n) as u32 + 1, {
+                let next = relative_path(0, n) as u32;
+                if next == 0 {
+                    n as u32
+                } else {
+                    next
+                }
+            });
+            // Equivalent statement: (wrap-1) mod n == n-1 and 0 mod n == 0.
+            assert_eq!(relative_path(wrap - 1, n), n - 1);
+        }
+    }
+
+    #[test]
+    fn truncated_check_agrees_with_full_check() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            for t in (0..(1u32 << 24)).step_by(98_301) {
+                for e in [0u32, 1, 255, 256, 65_535, (1 << 24) - 1] {
+                    assert_eq!(
+                        nack_valid_truncated((t & 0xFF) as u8, e, n),
+                        nack_valid(t, e, n),
+                        "n={n} t={t} e={e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valid_path_counts() {
+        for n in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+            assert_valid_path_count(n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        assert_valid_path_count(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_overlarge() {
+        assert_valid_path_count(512);
+    }
+}

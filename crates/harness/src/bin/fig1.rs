@@ -1,0 +1,58 @@
+//! Full Figure 1 reproduction binary.
+//!
+//! Usage: `cargo run --release -p themis-harness --bin fig1 [MB_PER_FLOW]`
+//!
+//! Defaults to 25 MB per flow (paper: 100). Prints the Fig 1b and Fig 1c
+//! series for the chosen flow (node 0 → node 2) and the Fig 1d NIC-SR vs
+//! Ideal throughput comparison.
+
+use simcore::time::TimeDelta;
+use themis_harness::fig1::{run_fig1, Fig1Transport};
+use themis_harness::report::render_ascii_chart;
+
+fn main() {
+    let mb: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    let bytes = mb << 20;
+    println!("Figure 1 — motivation experiment ({mb} MB per flow; paper: 100 MB)\n");
+
+    let sr = run_fig1(Fig1Transport::NicSr, bytes, TimeDelta::from_micros(50), 42);
+    let ideal = run_fig1(Fig1Transport::Ideal, bytes, TimeDelta::from_micros(50), 42);
+    assert!(sr.completed && ideal.completed);
+
+    println!(
+        "{}",
+        render_ascii_chart(
+            "Fig 1b: retransmission ratio over time (chosen flow 0->2)",
+            &sr.retx_ratio_series,
+            72,
+            10,
+        )
+    );
+    println!(
+        "  average spurious-retransmission ratio (all flows): {:.3}  [paper ~0.16]\n",
+        sr.avg_retx_ratio
+    );
+    println!(
+        "{}",
+        render_ascii_chart(
+            "Fig 1c: sending rate over time, Gbps (chosen flow 0->2)",
+            &sr.rate_series,
+            72,
+            10,
+        )
+    );
+    println!(
+        "  average sending rate: {:.1} Gbps / 100 Gbps  [paper ~86]\n",
+        sr.avg_rate_gbps
+    );
+    println!("Fig 1d: average per-flow throughput");
+    println!("  NIC-SR : {:>6.2} Gbps  [paper 68.09]", sr.mean_flow_throughput_gbps);
+    println!("  Ideal  : {:>6.2} Gbps  [paper 95.43]", ideal.mean_flow_throughput_gbps);
+    println!(
+        "  ratio  : {:>6.2}       [paper 0.71]",
+        sr.mean_flow_throughput_gbps / ideal.mean_flow_throughput_gbps
+    );
+}

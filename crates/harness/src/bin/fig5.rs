@@ -1,0 +1,78 @@
+//! Full Figure 5 reproduction binary.
+//!
+//! Usage:
+//! `cargo run --release -p themis-harness --bin fig5 [allreduce|alltoall] [MB_PER_GROUP]`
+//!
+//! Defaults to Allreduce at 8 MB per group. The paper's full scale is
+//! 300 MB per group (expect a long run: ~10⁹ simulator events).
+
+use themis_harness::fig5::{improvement_pct, run_fig5, Fig5Config};
+use themis_harness::report::{fmt_ms, Table};
+use themis_harness::{Collective, Scheme};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let collective = match args.next().as_deref() {
+        Some("alltoall") => Collective::Alltoall,
+        Some("allreduce") | None => Collective::Allreduce,
+        Some(other) => {
+            eprintln!("unknown collective '{other}' (use allreduce|alltoall)");
+            std::process::exit(2);
+        }
+    };
+    let mb: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let bytes = mb << 20;
+
+    let figure = match collective {
+        Collective::Allreduce => "5a",
+        _ => "5b",
+    };
+    println!(
+        "Figure {figure} — {} tail completion time ({mb} MB per group; paper: 300 MB)",
+        collective.label()
+    );
+    println!("16x16 leaf-spine @400 Gbps, 16 groups x 16 NICs\n");
+
+    let cfg = Fig5Config::paper(collective, bytes, 1);
+    let points = run_fig5(&cfg);
+
+    let mut table = Table::new(
+        format!("{} tail CT (ms) per DCQCN (T_I, T_D) us", collective.label()),
+        &["(TI,TD)", "ECMP", "AR", "Themis", "Themis vs AR"],
+    );
+    let mut improvements = Vec::new();
+    for chunk in points.chunks(3) {
+        let find = |s: Scheme| chunk.iter().find(|p| p.scheme == s).expect("present");
+        let (ecmp, ar, th) = (
+            find(Scheme::Ecmp),
+            find(Scheme::AdaptiveRouting),
+            find(Scheme::Themis),
+        );
+        let vs = match (th.tail_ct, ar.tail_ct) {
+            (Some(t), Some(a)) => {
+                let pct = improvement_pct(t, a);
+                improvements.push(pct);
+                format!("{pct:+.1}%")
+            }
+            _ => "-".into(),
+        };
+        table.row(&[
+            format!("({},{})", ecmp.ti_us, ecmp.td_us),
+            fmt_ms(ecmp.tail_ct),
+            fmt_ms(ar.tail_ct),
+            fmt_ms(th.tail_ct),
+            vs,
+        ]);
+    }
+    table.print();
+    if let (Some(min), Some(max)) = (
+        improvements.iter().copied().reduce(f64::min),
+        improvements.iter().copied().reduce(f64::max),
+    ) {
+        let paper = match collective {
+            Collective::Allreduce => "15.6%..75.3%",
+            _ => "11.5%..40.7%",
+        };
+        println!("\nThemis vs AR improvement range: {min:.1}%..{max:.1}%  [paper: {paper}]");
+    }
+}

@@ -1,0 +1,304 @@
+//! `themis-sim` — run custom Themis experiments from the command line.
+//!
+//! ```text
+//! USAGE:
+//!   themis_sim collective [OPTIONS]     run a collective on a leaf-spine fabric
+//!   themis_sim p2p        [OPTIONS]     run one cross-rack flow
+//!   themis_sim sweep      [OPTIONS]     scheme x DCQCN sweep (fig5-style)
+//!   themis_sim memory     [OPTIONS]     evaluate the §4 memory model
+//!
+//! COMMON OPTIONS:
+//!   --scheme S        ecmp | ar | spray | flowlet | themis | themis-pathmap |
+//!                     themis-nocomp | spray-nofilter        [themis]
+//!   --collective C    allreduce | alltoall | allgather | reducescatter |
+//!                     ring | incast                         [allreduce]
+//!   --mb N            buffer MB per group (or per flow for p2p) [4]
+//!   --fabric F        paper | motivation                    [paper]
+//!   --leaves N --hosts N --spines N    custom fabric dimensions
+//!   --gbps N          link rate in Gbit/s (custom fabric)   [100]
+//!   --ti US --td US   DCQCN rate-increase timer / decrease interval
+//!   --transport T     sr | gbn | ideal                      [sr]
+//!   --seed N          root seed                             [1]
+//!   --pfc             enable hop-by-hop PFC
+//! ```
+//!
+//! Examples:
+//! ```text
+//! themis_sim collective --collective alltoall --scheme ar --mb 8 --ti 10 --td 50
+//! themis_sim p2p --fabric motivation --scheme spray-nofilter --mb 16
+//! themis_sim sweep --collective allreduce --mb 2
+//! themis_sim memory --paths 256 --qps 100 --nics 16
+//! ```
+
+use netsim::switch::PfcConfig;
+use netsim::topology::LeafSpineConfig;
+use rnic::{CcConfig, NicConfig, TransportMode};
+use simcore::time::{Nanos, TimeDelta};
+use themis_core::memory::MemoryModel;
+use themis_harness::fig5::improvement_pct;
+use themis_harness::report::{fmt_ms, Table};
+use themis_harness::{
+    run_collective, run_point_to_point, Collective, ExperimentConfig, ExperimentResult, Scheme,
+};
+
+/// Minimal flag parser: `--key value` pairs plus boolean switches.
+struct Args {
+    cmd: String,
+    kv: std::collections::HashMap<String, String>,
+    flags: std::collections::HashSet<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut it = std::env::args().skip(1);
+        let cmd = it.next().unwrap_or_else(|| "help".into());
+        let mut kv = std::collections::HashMap::new();
+        let mut flags = std::collections::HashSet::new();
+        let rest: Vec<String> = it.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let key = rest[i].trim_start_matches("--").to_string();
+            if i + 1 < rest.len() && !rest[i + 1].starts_with("--") {
+                kv.insert(key, rest[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key);
+                i += 1;
+            }
+        }
+        Args { cmd, kv, flags }
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.kv
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn str(&self, key: &str, default: &str) -> String {
+        self.kv.get(key).cloned().unwrap_or_else(|| default.into())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.contains(key)
+    }
+}
+
+fn parse_scheme(s: &str) -> Scheme {
+    match s {
+        "ecmp" => Scheme::Ecmp,
+        "ar" | "adaptive" => Scheme::AdaptiveRouting,
+        "spray" | "random" => Scheme::RandomSpray,
+        "flowlet" => Scheme::Flowlet,
+        "themis" => Scheme::Themis,
+        "themis-pathmap" => Scheme::ThemisPathMap,
+        "themis-nocomp" => Scheme::ThemisNoCompensation,
+        "spray-nofilter" => Scheme::SprayNoFilter,
+        other => {
+            eprintln!("unknown scheme '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_collective(s: &str) -> Collective {
+    match s {
+        "allreduce" => Collective::Allreduce,
+        "alltoall" => Collective::Alltoall,
+        "allgather" => Collective::AllGather,
+        "reducescatter" => Collective::ReduceScatter,
+        "ring" => Collective::RingOnce,
+        "incast" => Collective::Incast,
+        other => {
+            eprintln!("unknown collective '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn build_config(args: &Args) -> ExperimentConfig {
+    let scheme = parse_scheme(&args.str("scheme", "themis"));
+    let seed = args.get("seed", 1u64);
+
+    let mut fabric = match args.str("fabric", "paper").as_str() {
+        "paper" => LeafSpineConfig::paper_eval(),
+        "motivation" => LeafSpineConfig::motivation(),
+        other => {
+            eprintln!("unknown fabric '{other}' (use paper|motivation or --leaves/--hosts/--spines)");
+            std::process::exit(2);
+        }
+    };
+    if args.kv.contains_key("leaves") || args.kv.contains_key("hosts") || args.kv.contains_key("spines") {
+        let gbps = args.get("gbps", 100u64);
+        fabric = LeafSpineConfig {
+            n_leaves: args.get("leaves", 4usize),
+            hosts_per_leaf: args.get("hosts", 2usize),
+            n_spines: args.get("spines", 2usize),
+            host_link: netsim::port::LinkSpec::gbps(gbps, 1),
+            fabric_link: netsim::port::LinkSpec::gbps(gbps, 1),
+            ..LeafSpineConfig::motivation()
+        };
+    }
+    fabric.seed = seed;
+    if args.has("pfc") {
+        fabric.pfc = Some(PfcConfig::for_buffer(fabric.buffer_bytes));
+    }
+
+    let line = fabric.host_link.bandwidth_bps;
+    let mut nic = match args.str("transport", "sr").as_str() {
+        "sr" => NicConfig::nic_sr(line),
+        "gbn" => NicConfig {
+            transport: TransportMode::GoBackN,
+            ..NicConfig::nic_sr(line)
+        },
+        "ideal" => NicConfig::ideal(line),
+        other => {
+            eprintln!("unknown transport '{other}'");
+            std::process::exit(2);
+        }
+    };
+    if args.kv.contains_key("ti") || args.kv.contains_key("td") {
+        nic.cc = CcConfig::with_ti_td(line, args.get("ti", 900u64), args.get("td", 4u64));
+    }
+
+    ExperimentConfig {
+        fabric,
+        nic,
+        scheme,
+        seed,
+        horizon: Nanos::from_secs(args.get("horizon-s", 10u64)),
+    }
+}
+
+fn print_result(r: &ExperimentResult, wall: std::time::Duration) {
+    println!("scheme            : {}", r.scheme.label());
+    match r.tail_ct {
+        Some(ct) => println!("completion (tail) : {} ms", fmt_ms(Some(ct))),
+        None => println!("completion (tail) : DID NOT FINISH before the horizon"),
+    }
+    println!("goodput           : {:.1} Gbps aggregate", r.aggregate_goodput_gbps());
+    println!(
+        "data packets      : {} (+{} retransmitted, ratio {:.4})",
+        r.nics.data_packets,
+        r.nics.retx_packets,
+        r.nics.retx_ratio()
+    );
+    println!(
+        "ooo / nacks@recv  : {} / {}   nacks@sender: {}   rto: {}",
+        r.nics.ooo_packets, r.nics.nacks_sent, r.nics.nacks_received, r.nics.rto_fires
+    );
+    println!(
+        "themis            : {} sprayed, {} blocked, {} valid fwd, {} compensated",
+        r.themis.sprayed,
+        r.themis.nacks_blocked,
+        r.themis.nacks_forwarded_valid,
+        r.themis.compensations
+    );
+    println!(
+        "fabric            : {} drops, {} ECN marks, peak buffer {} KB",
+        r.fabric.total_drops(),
+        r.fabric.ecn_marked,
+        r.fabric.peak_buffer_bytes / 1024
+    );
+    if let (Some(p50), Some(p99)) = (r.msg_latency_p50, r.msg_latency_p99) {
+        println!(
+            "msg latency       : p50 {:.1} us, p99 {:.1} us",
+            p50.as_micros_f64(),
+            p99.as_micros_f64()
+        );
+    }
+    println!(
+        "simulator         : {} events in {:.2}s wall ({:.1} M events/s)",
+        r.events,
+        wall.as_secs_f64(),
+        r.events as f64 / wall.as_secs_f64().max(1e-9) / 1e6
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    match args.cmd.as_str() {
+        "collective" => {
+            let cfg = build_config(&args);
+            let collective = parse_collective(&args.str("collective", "allreduce"));
+            let bytes = args.get("mb", 4u64) << 20;
+            println!(
+                "{} of {} MB per group on {} leaves x {} hosts, {} spines, scheme {}\n",
+                collective.label(),
+                bytes >> 20,
+                cfg.fabric.n_leaves,
+                cfg.fabric.hosts_per_leaf,
+                cfg.fabric.n_spines,
+                cfg.scheme.label()
+            );
+            let t0 = std::time::Instant::now();
+            let r = run_collective(&cfg, collective, bytes);
+            if args.has("csv") {
+                println!("{}", ExperimentResult::csv_header());
+                println!("{}", r.to_csv_row());
+            } else {
+                print_result(&r, t0.elapsed());
+            }
+        }
+        "p2p" => {
+            let cfg = build_config(&args);
+            let bytes = args.get("mb", 4u64) << 20;
+            println!("point-to-point {} MB, scheme {}\n", bytes >> 20, cfg.scheme.label());
+            let t0 = std::time::Instant::now();
+            let r = run_point_to_point(&cfg, bytes);
+            if args.has("csv") {
+                println!("{}", ExperimentResult::csv_header());
+                println!("{}", r.to_csv_row());
+            } else {
+                print_result(&r, t0.elapsed());
+            }
+        }
+        "sweep" => {
+            let collective = parse_collective(&args.str("collective", "allreduce"));
+            let bytes = args.get("mb", 2u64) << 20;
+            let seed = args.get("seed", 1u64);
+            let mut table = Table::new(
+                format!("{} tail CT (ms), {} MB/group", collective.label(), bytes >> 20),
+                &["(TI,TD)", "ECMP", "AR", "Themis", "Themis vs AR"],
+            );
+            for (ti, td) in CcConfig::paper_sweep() {
+                let ct = |scheme| {
+                    let cfg = ExperimentConfig::paper_eval(scheme, ti, td, seed);
+                    run_collective(&cfg, collective, bytes).tail_ct
+                };
+                let (e, a, t) = (ct(Scheme::Ecmp), ct(Scheme::AdaptiveRouting), ct(Scheme::Themis));
+                let vs = match (t, a) {
+                    (Some(t), Some(a)) => format!("{:+.1}%", improvement_pct(t, a)),
+                    _ => "-".into(),
+                };
+                table.row(&[format!("({ti},{td})"), fmt_ms(e), fmt_ms(a), fmt_ms(t), vs]);
+            }
+            table.print();
+        }
+        "memory" => {
+            let m = MemoryModel {
+                n_paths: args.get("paths", 256usize),
+                bw_bps: args.get("gbps", 400u64) * 1_000_000_000,
+                rtt_last: TimeDelta::from_micros(args.get("rtt-us", 2u64)),
+                mtu: args.get("mtu", 1500u32),
+                f_times_100: args.get("f100", 150u32),
+                n_nic: args.get("nics", 16usize),
+                n_qp: args.get("qps", 100usize),
+            };
+            println!("N_entries = {}", m.n_entries());
+            println!("M_PathMap = {} B", m.pathmap_bytes());
+            println!("M_QP      = {} B", m.per_qp_bytes());
+            println!("M_total   = {} B (~{:.0} KB)", m.total_bytes(), m.total_bytes() as f64 / 1000.0);
+            println!(
+                "          = {:.2}% of 32 MB, {:.2}% of 64 MB switch SRAM",
+                m.fraction_of_sram(32 << 20) * 100.0,
+                m.fraction_of_sram(64 << 20) * 100.0
+            );
+        }
+        _ => {
+            println!("usage: themis_sim <collective|p2p|sweep|memory> [--flags]");
+            println!("see the crate docs (src/bin/themis_sim.rs) for the option list");
+        }
+    }
+}

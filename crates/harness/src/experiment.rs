@@ -1,0 +1,467 @@
+//! Generic experiment runner: a cluster + a collective workload → metrics.
+
+use crate::cluster::{build_cluster, Cluster, ThemisAggregate};
+use crate::scheme::Scheme;
+use collectives::alltoall::{alltoall, incast};
+use collectives::driver::{setup_collective, Driver, QpAllocator, START_TOKEN};
+use collectives::groups::all_groups;
+use collectives::ring::{ring_allgather, ring_allreduce, ring_once, ring_reduce_scatter};
+use collectives::schedule::{Schedule, Transfer};
+use netsim::event::Event;
+use netsim::topology::LeafSpineConfig;
+use netsim::trace::{fabric_summary, FabricSummary};
+use netsim::types::NodeId;
+use rnic::{CcConfig, Nic, NicConfig};
+use simcore::time::{Nanos, TimeDelta};
+
+/// Which collective to run per group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Collective {
+    /// Ring Allreduce (2(N−1) dependent steps) — Fig 5a.
+    Allreduce,
+    /// Pairwise Alltoall (all transfers concurrent) — Fig 5b.
+    Alltoall,
+    /// Ring AllGather (N−1 steps).
+    AllGather,
+    /// Ring ReduceScatter (N−1 steps).
+    ReduceScatter,
+    /// One ring pass of independent sends — the Fig 1 motivation pattern.
+    RingOnce,
+    /// N-to-1 incast into rank 0 (buffer-pressure stress; PFC studies).
+    Incast,
+}
+
+impl Collective {
+    /// Label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Collective::Allreduce => "Allreduce",
+            Collective::Alltoall => "Alltoall",
+            Collective::AllGather => "AllGather",
+            Collective::ReduceScatter => "ReduceScatter",
+            Collective::RingOnce => "RingOnce",
+            Collective::Incast => "Incast",
+        }
+    }
+
+    /// Build the per-group schedule.
+    pub fn schedule(&self, n_ranks: usize, total_bytes: u64) -> Schedule {
+        match self {
+            Collective::Allreduce => ring_allreduce(n_ranks, total_bytes),
+            Collective::Alltoall => alltoall(n_ranks, total_bytes),
+            Collective::AllGather => ring_allgather(n_ranks, total_bytes),
+            Collective::ReduceScatter => ring_reduce_scatter(n_ranks, total_bytes),
+            Collective::RingOnce => ring_once(n_ranks, total_bytes),
+            Collective::Incast => incast(n_ranks, total_bytes),
+        }
+    }
+}
+
+/// A complete experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Fabric parameters.
+    pub fabric: LeafSpineConfig,
+    /// NIC parameters (transport + DCQCN).
+    pub nic: NicConfig,
+    /// Load-balancing scheme.
+    pub scheme: Scheme,
+    /// Root seed.
+    pub seed: u64,
+    /// Simulation horizon (safety stop for hung runs).
+    pub horizon: Nanos,
+}
+
+impl ExperimentConfig {
+    /// The Fig 1a motivation cluster (8 hosts, 2 paths, 100 Gbps).
+    pub fn motivation_small(scheme: Scheme, seed: u64) -> ExperimentConfig {
+        let fabric = LeafSpineConfig {
+            seed,
+            ..LeafSpineConfig::motivation()
+        };
+        ExperimentConfig {
+            nic: NicConfig::nic_sr(fabric.host_link.bandwidth_bps),
+            fabric,
+            scheme,
+            seed,
+            horizon: Nanos::from_secs(2),
+        }
+    }
+
+    /// The §5 evaluation cluster (16×16 leaf-spine, 400 Gbps) with the
+    /// given DCQCN `(T_I, T_D)` microsecond configuration.
+    pub fn paper_eval(scheme: Scheme, ti_us: u64, td_us: u64, seed: u64) -> ExperimentConfig {
+        let fabric = LeafSpineConfig {
+            seed,
+            ..LeafSpineConfig::paper_eval()
+        };
+        let line = fabric.host_link.bandwidth_bps;
+        let mut nic = NicConfig::nic_sr(line);
+        nic.cc = CcConfig::with_ti_td(line, ti_us, td_us);
+        ExperimentConfig {
+            fabric,
+            nic,
+            scheme,
+            seed,
+            horizon: Nanos::from_secs(5),
+        }
+    }
+}
+
+/// Aggregated sender/receiver counters over all NICs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NicAggregate {
+    /// First-transmission data packets.
+    pub data_packets: u64,
+    /// Retransmitted data packets.
+    pub retx_packets: u64,
+    /// NACKs received by senders.
+    pub nacks_received: u64,
+    /// CNPs received by senders.
+    pub cnps_received: u64,
+    /// RTO expirations.
+    pub rto_fires: u64,
+    /// NACKs sent by receivers.
+    pub nacks_sent: u64,
+    /// Out-of-order arrivals at receivers.
+    pub ooo_packets: u64,
+    /// Duplicate arrivals at receivers (spurious retransmissions landing).
+    pub dup_packets: u64,
+    /// Payload bytes delivered in order.
+    pub bytes_delivered: u64,
+}
+
+impl NicAggregate {
+    /// Fraction of transmitted data packets that were retransmissions —
+    /// the paper's "retransmission ratio".
+    pub fn retx_ratio(&self) -> f64 {
+        let total = self.data_packets + self.retx_packets;
+        if total == 0 {
+            0.0
+        } else {
+            self.retx_packets as f64 / total as f64
+        }
+    }
+}
+
+/// Everything measured by one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Scheme that produced this result.
+    pub scheme: Scheme,
+    /// Slowest-group completion time (§5 metric); `None` if the horizon
+    /// hit first.
+    pub tail_ct: Option<TimeDelta>,
+    /// Per-group completion times.
+    pub group_cts: Vec<Option<TimeDelta>>,
+    /// Fabric-wide switch counters.
+    pub fabric: FabricSummary,
+    /// Themis middleware counters (zeros for baselines).
+    pub themis: ThemisAggregate,
+    /// NIC counters.
+    pub nics: NicAggregate,
+    /// Simulator events dispatched.
+    pub events: u64,
+    /// Final simulation clock.
+    pub sim_end: Nanos,
+    /// Median per-transfer latency (post → delivery), if any completed.
+    pub msg_latency_p50: Option<TimeDelta>,
+    /// 99th-percentile per-transfer latency.
+    pub msg_latency_p99: Option<TimeDelta>,
+}
+
+impl ExperimentResult {
+    /// Whether every message of every group was delivered.
+    pub fn all_messages_completed(&self) -> bool {
+        self.tail_ct.is_some()
+    }
+
+    /// CSV header matching [`ExperimentResult::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "scheme,tail_ct_us,goodput_gbps,data_packets,retx_packets,\
+nacks_sent,nacks_received,ooo_packets,rto_fires,drops,ecn_marked,\
+sprayed,blocked,forwarded_valid,compensations,msg_p50_us,msg_p99_us,events"
+    }
+
+    /// One CSV row of the headline metrics (empty cells for missing
+    /// values), for spreadsheet/plotting pipelines.
+    pub fn to_csv_row(&self) -> String {
+        let opt_us =
+            |t: Option<TimeDelta>| t.map(|v| format!("{:.3}", v.as_micros_f64())).unwrap_or_default();
+        format!(
+            "{},{},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.scheme.label(),
+            opt_us(self.tail_ct),
+            self.aggregate_goodput_gbps(),
+            self.nics.data_packets,
+            self.nics.retx_packets,
+            self.nics.nacks_sent,
+            self.nics.nacks_received,
+            self.nics.ooo_packets,
+            self.nics.rto_fires,
+            self.fabric.total_drops(),
+            self.fabric.ecn_marked,
+            self.themis.sprayed,
+            self.themis.nacks_blocked,
+            self.themis.nacks_forwarded_valid,
+            self.themis.compensations,
+            opt_us(self.msg_latency_p50),
+            opt_us(self.msg_latency_p99),
+            self.events,
+        )
+    }
+
+    /// Goodput across the whole workload in Gbit/s (delivered payload over
+    /// tail completion time).
+    pub fn aggregate_goodput_gbps(&self) -> f64 {
+        match self.tail_ct {
+            Some(ct) if ct.as_nanos() > 0 => {
+                self.nics.bytes_delivered as f64 * 8.0 / ct.as_secs_f64() / 1e9
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Sum NIC counters over the cluster.
+pub fn aggregate_nics(cluster: &Cluster) -> NicAggregate {
+    let mut agg = NicAggregate::default();
+    for &h in &cluster.hosts {
+        let nic: &Nic = cluster.nic(h);
+        for s in nic.send_qps() {
+            agg.data_packets += s.stats.data_packets;
+            agg.retx_packets += s.stats.retx_packets;
+            agg.nacks_received += s.stats.nacks_received;
+            agg.cnps_received += s.stats.cnps_received;
+            agg.rto_fires += s.stats.rto_fires;
+        }
+        for r in nic.recv_qps() {
+            agg.nacks_sent += r.stats.nacks_sent;
+            agg.ooo_packets += r.stats.ooo_packets;
+            agg.dup_packets += r.stats.dup_packets;
+            agg.bytes_delivered += r.stats.bytes_delivered;
+        }
+    }
+    agg
+}
+
+/// Run `collective` with a per-group buffer of `total_bytes` on every
+/// group of the fabric simultaneously (the §5 setup). Returns the built
+/// cluster alongside the metrics so callers can inspect raw state.
+pub fn run_collective_on(
+    cfg: &ExperimentConfig,
+    collective: Collective,
+    total_bytes: u64,
+) -> (ExperimentResult, Cluster) {
+    let mut cluster = build_cluster(&cfg.fabric, cfg.nic, cfg.scheme);
+    let groups = all_groups(cfg.fabric.n_leaves, cfg.fabric.hosts_per_leaf);
+    let mut alloc = QpAllocator::new(cfg.seed ^ 0xC0_11EC);
+    let mut driver = Driver::new();
+    for hosts in &groups {
+        let schedule = collective.schedule(hosts.len(), total_bytes);
+        let spec = setup_collective(&mut cluster.world, cluster.driver, hosts, schedule, &mut alloc);
+        driver.add_instance(spec);
+    }
+    cluster.world.install(cluster.driver, Box::new(driver));
+    cluster
+        .world
+        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.run_until(cfg.horizon);
+    (collect_result(cfg, &cluster), cluster)
+}
+
+/// Like [`run_collective_on`], discarding the cluster.
+pub fn run_collective(
+    cfg: &ExperimentConfig,
+    collective: Collective,
+    total_bytes: u64,
+) -> ExperimentResult {
+    run_collective_on(cfg, collective, total_bytes).0
+}
+
+/// A single point-to-point message between two cross-rack hosts; the
+/// simplest end-to-end exercise of a scheme (used by the quickstart).
+pub fn run_point_to_point(cfg: &ExperimentConfig, bytes: u64) -> ExperimentResult {
+    let mut cluster = build_cluster(&cfg.fabric, cfg.nic, cfg.scheme);
+    let src = cluster.hosts[0];
+    // First host of the second rack: guaranteed cross-rack.
+    let dst = cluster.hosts[cfg.fabric.hosts_per_leaf];
+    let schedule = Schedule {
+        name: "point-to-point",
+        n_ranks: 2,
+        transfers: vec![Transfer {
+            src: 0,
+            dst: 1,
+            bytes,
+            deps: vec![],
+        }],
+    };
+    let mut alloc = QpAllocator::new(cfg.seed);
+    let mut driver = Driver::new();
+    let spec = setup_collective(
+        &mut cluster.world,
+        cluster.driver,
+        &[src, dst],
+        schedule,
+        &mut alloc,
+    );
+    driver.add_instance(spec);
+    cluster.world.install(cluster.driver, Box::new(driver));
+    cluster
+        .world
+        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.run_until(cfg.horizon);
+    collect_result(cfg, &cluster)
+}
+
+fn collect_result(cfg: &ExperimentConfig, cluster: &Cluster) -> ExperimentResult {
+    let driver: &Driver = cluster
+        .world
+        .get(cluster.driver)
+        .expect("driver installed before run");
+    let start = driver.started_at().unwrap_or(Nanos::ZERO);
+    let group_cts: Vec<Option<TimeDelta>> = driver
+        .completions()
+        .into_iter()
+        .map(|c| c.map(|t| t.since(start)))
+        .collect();
+    let tail_ct = driver.tail_completion().map(|t| t.since(start));
+    let lat = driver.latency_histogram();
+    ExperimentResult {
+        scheme: cfg.scheme,
+        tail_ct,
+        group_cts,
+        fabric: fabric_summary(&cluster.world, &cluster.all_switches()),
+        themis: cluster.themis_stats(),
+        nics: aggregate_nics(cluster),
+        events: cluster.world.engine.dispatched(),
+        sim_end: cluster.world.now(),
+        msg_latency_p50: lat.quantile(0.5).map(TimeDelta::from_nanos),
+        msg_latency_p99: lat.quantile(0.99).map(TimeDelta::from_nanos),
+    }
+}
+
+/// Convenience: the driver entity of a finished cluster.
+pub fn driver_of(cluster: &Cluster) -> &Driver {
+    cluster
+        .world
+        .get::<Driver>(cluster.driver)
+        .expect("driver installed")
+}
+
+/// Node id helper for a host's NIC.
+pub fn nic_node(host: netsim::types::HostId) -> NodeId {
+    NodeId(host.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let cfg = ExperimentConfig::motivation_small(Scheme::Themis, 11);
+        let r = run_point_to_point(&cfg, 1 << 20);
+        let header_cols = ExperimentResult::csv_header().split(',').count();
+        let row_cols = r.to_csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert!(r.to_csv_row().starts_with("Themis,"));
+    }
+
+    #[test]
+    fn point_to_point_completes_under_every_scheme() {
+        for scheme in Scheme::ALL {
+            let cfg = ExperimentConfig::motivation_small(scheme, 11);
+            let r = run_point_to_point(&cfg, 1 << 20);
+            assert!(
+                r.all_messages_completed(),
+                "{} failed to complete",
+                scheme.label()
+            );
+            assert_eq!(r.nics.bytes_delivered, 1 << 20, "{}", scheme.label());
+            assert_eq!(r.fabric.drops_no_route, 0);
+        }
+    }
+
+    #[test]
+    fn themis_blocks_nacks_on_sprayed_flow() {
+        let cfg = ExperimentConfig::motivation_small(Scheme::Themis, 3);
+        let r = run_point_to_point(&cfg, 8 << 20);
+        assert!(r.all_messages_completed());
+        // A single flow over 2 paths reorders constantly; the receiver
+        // NACKs and Themis-D blocks (no real loss -> nothing forwarded).
+        assert!(r.themis.sprayed > 0);
+        assert!(
+            r.themis.nacks_blocked > 0,
+            "expected invalid NACKs to be blocked: {:?}",
+            r.themis
+        );
+        assert_eq!(r.fabric.total_drops(), 0, "no drops in this scenario");
+        assert_eq!(
+            r.themis.nacks_forwarded_valid, 0,
+            "no loss -> no valid NACK"
+        );
+        // Blocked NACKs never reach the sender: zero spurious retx.
+        assert_eq!(r.nics.retx_packets, 0);
+    }
+
+    #[test]
+    fn spray_without_filter_suffers_spurious_retransmissions() {
+        let cfg = ExperimentConfig::motivation_small(Scheme::SprayNoFilter, 3);
+        let r = run_point_to_point(&cfg, 8 << 20);
+        assert!(r.all_messages_completed());
+        assert!(
+            r.nics.retx_packets > 0,
+            "unfiltered spraying must trigger spurious retransmissions"
+        );
+        assert!(r.nics.nacks_received > 0);
+    }
+
+    #[test]
+    fn ecmp_single_flow_is_clean() {
+        let cfg = ExperimentConfig::motivation_small(Scheme::Ecmp, 3);
+        let r = run_point_to_point(&cfg, 4 << 20);
+        assert!(r.all_messages_completed());
+        assert_eq!(r.nics.retx_packets, 0);
+        assert_eq!(r.nics.ooo_packets, 0, "single path -> in-order");
+    }
+
+    #[test]
+    fn ring_once_motivation_all_schemes_complete() {
+        // Small per-flow size keeps this test quick.
+        for scheme in [Scheme::RandomSpray, Scheme::Themis, Scheme::Ecmp] {
+            let cfg = ExperimentConfig::motivation_small(scheme, 5);
+            let r = run_collective(&cfg, Collective::RingOnce, 2 << 20);
+            assert!(
+                r.all_messages_completed(),
+                "{}: incomplete",
+                scheme.label()
+            );
+            assert_eq!(r.group_cts.len(), 2, "two groups on the motivation topo");
+            // All 8 flows delivered fully.
+            assert_eq!(r.nics.bytes_delivered, 8 * (2 << 20));
+        }
+    }
+
+    #[test]
+    fn themis_beats_unfiltered_spray_on_ring() {
+        let bytes = 4 << 20;
+        let themis = run_collective(
+            &ExperimentConfig::motivation_small(Scheme::Themis, 5),
+            Collective::RingOnce,
+            bytes,
+        );
+        let spray = run_collective(
+            &ExperimentConfig::motivation_small(Scheme::SprayNoFilter, 5),
+            Collective::RingOnce,
+            bytes,
+        );
+        let t = themis.tail_ct.unwrap().as_secs_f64();
+        let s = spray.tail_ct.unwrap().as_secs_f64();
+        assert!(
+            t < s,
+            "Themis ({t:.6}s) must beat unfiltered spraying ({s:.6}s)"
+        );
+        assert!(themis.nics.retx_ratio() < spray.nics.retx_ratio());
+    }
+}

@@ -1,0 +1,230 @@
+//! Fat-tree (3-tier Clos) cluster assembly — the paper's multi-tier
+//! deployment mode.
+//!
+//! In a 3-tier fabric the source ToR cannot pick the whole path by
+//! egress selection, so every Themis variant here sprays through the
+//! **two-tier PathMap** ([`themis_core::themis_s::SprayMode::PathMapTwoTier`]):
+//! the ToR rewrites the UDP source port once, and the edge and
+//! aggregation ECMP stages (reading decorrelated views of the hash) land
+//! the packet on the desired relative path. Programmability is required
+//! only at the ToR, exactly as §3.2 claims.
+
+use crate::cluster::Cluster;
+use crate::scheme::Scheme;
+use netsim::fat_tree::{build_fat_tree, FatTreeConfig, FatTreePlan, AGG_ECMP_SHIFT};
+use netsim::port::EgressPort;
+use netsim::switch::Switch;
+use rnic::{Nic, NicConfig, TransportMode};
+use themis_core::themis_s::SprayMode;
+use themis_core::{ThemisConfig, ThemisMiddleware};
+
+/// Build a fat-tree cluster: fabric per `fabric_cfg`, one NIC per host,
+/// Themis middleware (two-tier PathMap mode) on every edge ToR when the
+/// scheme calls for it.
+///
+/// In the returned [`Cluster`], `leaves` are the edge (ToR) switches and
+/// `spines` holds aggregation + core switches.
+pub fn build_fat_tree_cluster(
+    fabric_cfg: &FatTreeConfig,
+    nic_cfg: NicConfig,
+    scheme: Scheme,
+) -> Cluster {
+    let mut fabric_cfg = fabric_cfg.clone();
+    fabric_cfg.lb = scheme.lb_policy();
+    fabric_cfg.oracle_loss_notify = nic_cfg.transport == TransportMode::IdealOracle;
+    assert_eq!(
+        nic_cfg.line_rate_bps, fabric_cfg.host_link.bandwidth_bps,
+        "NIC line rate must match the access link"
+    );
+
+    let FatTreePlan {
+        mut world,
+        hosts,
+        edges,
+        aggs,
+        cores,
+        n_paths,
+        k,
+    } = build_fat_tree(&fabric_cfg);
+
+    let m_bits = (k as u32 / 2).trailing_zeros();
+    let mtu_ser = simcore::time::TimeDelta::serialization(
+        nic_cfg.mtu_payload as u64 + 64,
+        fabric_cfg.host_link.bandwidth_bps,
+    );
+    let last_hop_rtt = simcore::time::TimeDelta::from_nanos(
+        2 * (fabric_cfg.host_link.latency.as_nanos() + mtu_ser.as_nanos()),
+    );
+    let base = ThemisConfig {
+        // 3-tier deployment always sprays via the two-tier PathMap.
+        spray_mode: SprayMode::PathMapTwoTier {
+            bits_stage1: m_bits,
+            shift_stage2: AGG_ECMP_SHIFT,
+            bits_stage2: m_bits,
+        },
+        ..ThemisConfig::for_fabric(
+            n_paths,
+            fabric_cfg.host_link.bandwidth_bps,
+            last_hop_rtt,
+            nic_cfg.mtu_payload,
+        )
+    };
+    assert!(
+        base.queue_capacity <= 127,
+        "PSN queue capacity {} exceeds the 1-byte serial window",
+        base.queue_capacity
+    );
+    if let Some(mut themis_cfg) = scheme.themis_config(base) {
+        // Direct egress cannot express the full path in 3 tiers; force
+        // the two-tier PathMap for every Themis variant.
+        themis_cfg.spray_mode = base.spray_mode;
+        for &edge in &edges {
+            let sw = world.get_mut::<Switch>(edge).expect("edge installed");
+            sw.set_hook(Box::new(ThemisMiddleware::new(themis_cfg)));
+        }
+    }
+
+    for att in &hosts {
+        let port = EgressPort::new(att.tor, att.tor_port, att.link);
+        world.install(att.node, Box::new(Nic::new(att.host, nic_cfg, port)));
+    }
+    let driver = world.reserve();
+
+    let mut spines = aggs;
+    spines.extend(cores);
+    Cluster {
+        world,
+        hosts: hosts.iter().map(|a| a.host).collect(),
+        leaves: edges,
+        spines,
+        n_paths,
+        driver,
+        scheme,
+        nic_cfg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collectives::driver::{setup_collective, Driver, QpAllocator, START_TOKEN};
+    use collectives::ring::ring_once;
+    use netsim::event::Event;
+    use netsim::types::HostId;
+    use simcore::time::Nanos;
+
+    const GBPS100: u64 = 100_000_000_000;
+
+    /// Run an inter-pod ring (one host per pod) on a k=4 fat-tree.
+    fn run_interpod_ring(scheme: Scheme, bytes: u64) -> (Cluster, Option<Nanos>) {
+        let cfg = FatTreeConfig::small(4);
+        let mut cluster = build_fat_tree_cluster(&cfg, NicConfig::nic_sr(GBPS100), scheme);
+        // One host per pod, same local index: 0, 4, 8, 12.
+        let hosts: Vec<HostId> = (0..4).map(|p| HostId(p * 4)).collect();
+        let mut alloc = QpAllocator::new(5);
+        let mut driver = Driver::new();
+        let spec = setup_collective(
+            &mut cluster.world,
+            cluster.driver,
+            &hosts,
+            ring_once(4, bytes),
+            &mut alloc,
+        );
+        driver.add_instance(spec);
+        cluster.world.install(cluster.driver, Box::new(driver));
+        cluster
+            .world
+            .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+        cluster.world.run_until(Nanos::from_secs(2));
+        let d: &Driver = cluster.world.get(cluster.driver).expect("driver");
+        let ct = d.tail_completion();
+        (cluster, ct)
+    }
+
+    #[test]
+    fn cluster_builds_with_hooks_on_edges_only() {
+        let cfg = FatTreeConfig::small(4);
+        let c = build_fat_tree_cluster(&cfg, NicConfig::nic_sr(GBPS100), Scheme::Themis);
+        assert_eq!(c.n_paths, 4);
+        for &e in &c.leaves {
+            let sw: &Switch = c.world.get(e).unwrap();
+            assert!(sw.hook().is_some(), "every edge ToR carries Themis");
+        }
+        for &s in &c.spines {
+            let sw: &Switch = c.world.get(s).unwrap();
+            assert!(sw.hook().is_none(), "aggs/cores stay unmodified");
+        }
+    }
+
+    #[test]
+    fn interpod_ring_completes_under_themis_without_retx() {
+        let (cluster, ct) = run_interpod_ring(Scheme::Themis, 4 << 20);
+        assert!(ct.is_some(), "ring must complete");
+        let agg = cluster.themis_stats();
+        assert!(agg.sprayed > 0, "two-tier PathMap spraying active");
+        assert!(
+            agg.nacks_blocked > 0,
+            "4-path spraying reorders; invalid NACKs must be blocked: {agg:?}"
+        );
+        let nics = crate::experiment::aggregate_nics(&cluster);
+        assert_eq!(nics.retx_packets, 0, "no NACK reaches a sender");
+        // All four cores carried traffic: the composite PathMap covers
+        // the full path set.
+        let core_rx: Vec<u64> = cluster.spines[8..]
+            .iter()
+            .map(|&c| cluster.world.get::<Switch>(c).unwrap().stats.rx_packets)
+            .collect();
+        assert!(
+            core_rx.iter().all(|&rx| rx > 0),
+            "every core must carry sprayed traffic: {core_rx:?}"
+        );
+    }
+
+    #[test]
+    fn themis_not_slower_than_adaptive_routing_interpod() {
+        let bytes = 4 << 20;
+        let (_, themis_ct) = run_interpod_ring(Scheme::Themis, bytes);
+        let (ar_cluster, ar_ct) = run_interpod_ring(Scheme::AdaptiveRouting, bytes);
+        let nics = crate::experiment::aggregate_nics(&ar_cluster);
+        assert!(
+            nics.retx_packets > 0,
+            "AR over 3 tiers reorders and triggers spurious retx"
+        );
+        let (t, a) = (themis_ct.unwrap(), ar_ct.unwrap());
+        assert!(
+            t <= a,
+            "Themis ({t}) must not lose to AR ({a}) on the fat-tree"
+        );
+    }
+
+    #[test]
+    fn intra_pod_flows_also_work_under_themis() {
+        let cfg = FatTreeConfig::small(4);
+        let mut cluster = build_fat_tree_cluster(&cfg, NicConfig::nic_sr(GBPS100), Scheme::Themis);
+        // Host 0 (edge 0) -> host 2 (edge 1), same pod: only the agg
+        // stage matters physically, but mod-N spraying still recovers.
+        let hosts = [HostId(0), HostId(2)];
+        let mut alloc = QpAllocator::new(5);
+        let mut driver = Driver::new();
+        let spec = setup_collective(
+            &mut cluster.world,
+            cluster.driver,
+            &hosts,
+            ring_once(2, 2 << 20),
+            &mut alloc,
+        );
+        driver.add_instance(spec);
+        cluster.world.install(cluster.driver, Box::new(driver));
+        cluster
+            .world
+            .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+        cluster.world.run_until(Nanos::from_secs(2));
+        let d: &Driver = cluster.world.get(cluster.driver).expect("driver");
+        assert!(d.all_complete(), "intra-pod traffic must complete");
+        // Cores untouched by intra-pod flows.
+        for &c in &cluster.spines[8..] {
+            let sw: &Switch = cluster.world.get(c).unwrap();
+            assert_eq!(sw.stats.rx_packets, 0);
+        }
+    }
+}

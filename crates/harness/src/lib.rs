@@ -1,0 +1,28 @@
+//! # themis-harness — experiment assembly and figure reproduction
+//!
+//! Glues the substrate crates into runnable experiments:
+//!
+//! * [`scheme`] — the load-balancing schemes under comparison (§5
+//!   baselines + ablations).
+//! * [`cluster`] — fabric + NICs + Themis middleware assembly.
+//! * [`experiment`] — generic collective runner and the metrics bundle.
+//! * [`fat_tree`] — 3-tier Clos clusters with two-tier PathMap Themis.
+//! * [`fig1`] — the §2.2 motivation experiment (Fig 1b/1c/1d).
+//! * [`fig5`] — the §5 DCQCN-sweep evaluation (Fig 5a/5b).
+//! * [`report`] — plain-text tables and series for terminal output.
+
+pub mod cluster;
+pub mod experiment;
+pub mod fat_tree;
+pub mod fig1;
+pub mod fig5;
+pub mod report;
+pub mod scheme;
+
+pub use cluster::{build_cluster, Cluster, ThemisAggregate};
+pub use fat_tree::build_fat_tree_cluster;
+pub use experiment::{
+    run_collective, run_collective_on, run_point_to_point, Collective, ExperimentConfig,
+    ExperimentResult, NicAggregate,
+};
+pub use scheme::Scheme;

@@ -1,0 +1,180 @@
+//! Load-balancing schemes under evaluation.
+//!
+//! The paper's §5 comparison plus the ablations called out in DESIGN.md.
+//! A [`Scheme`] bundles the switch-level LB policy with the Themis
+//! middleware configuration (if any).
+
+use netsim::lb::LbPolicy;
+use simcore::time::TimeDelta;
+use themis_core::themis_s::SprayMode;
+use themis_core::ThemisConfig;
+
+/// A complete load-balancing configuration for a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Flow-level ECMP — the de-facto baseline whose collisions motivate
+    /// the paper (§2.1).
+    Ecmp,
+    /// Per-packet adaptive routing (least-loaded uplink) with raw NIC-SR —
+    /// the "AR" baseline of Fig 5.
+    AdaptiveRouting,
+    /// Random packet spraying with raw NIC-SR — the Fig 1 motivation
+    /// configuration.
+    RandomSpray,
+    /// Flowlet switching (§2.3 related work): re-pick a path only after a
+    /// 50 µs inter-packet gap. RNIC hardware pacing rarely produces such
+    /// gaps, so this degenerates to per-flow placement — the paper's
+    /// argument for why flowlet LB does not help RDMA.
+    Flowlet,
+    /// Full Themis: PSN spraying + NACK filtering + compensation (§3).
+    Themis,
+    /// Themis with PathMap sport rewriting instead of direct egress
+    /// selection (multi-tier deployment mode, §3.2).
+    ThemisPathMap,
+    /// Ablation: Themis without the §3.4 compensation mechanism.
+    ThemisNoCompensation,
+    /// Ablation: PSN spraying without NACK filtering — isolates how much
+    /// of Themis's win comes from filtering vs. deterministic spraying.
+    SprayNoFilter,
+}
+
+impl Scheme {
+    /// All schemes, for sweeps.
+    pub const ALL: [Scheme; 8] = [
+        Scheme::Ecmp,
+        Scheme::AdaptiveRouting,
+        Scheme::RandomSpray,
+        Scheme::Flowlet,
+        Scheme::Themis,
+        Scheme::ThemisPathMap,
+        Scheme::ThemisNoCompensation,
+        Scheme::SprayNoFilter,
+    ];
+
+    /// The flowlet gap threshold used by [`Scheme::Flowlet`] (LetFlow-ish).
+    pub const FLOWLET_GAP: TimeDelta = TimeDelta::from_micros(50);
+
+    /// The Fig 5 comparison set.
+    pub const PAPER_FIG5: [Scheme; 3] =
+        [Scheme::Ecmp, Scheme::AdaptiveRouting, Scheme::Themis];
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Ecmp => "ECMP",
+            Scheme::AdaptiveRouting => "AdaptiveRouting",
+            Scheme::RandomSpray => "RandomSpray",
+            Scheme::Flowlet => "Flowlet",
+            Scheme::Themis => "Themis",
+            Scheme::ThemisPathMap => "Themis(PathMap)",
+            Scheme::ThemisNoCompensation => "Themis(no-comp)",
+            Scheme::SprayNoFilter => "Spray(no-filter)",
+        }
+    }
+
+    /// The switch LB policy the leaves run.
+    ///
+    /// Themis variants leave the policy at ECMP: data packets are overridden
+    /// per packet by Themis-S, while control/reverse traffic follows its
+    /// flow's ECMP path.
+    pub fn lb_policy(&self) -> LbPolicy {
+        match self {
+            Scheme::Ecmp => LbPolicy::Ecmp,
+            Scheme::AdaptiveRouting => LbPolicy::AdaptiveRouting,
+            Scheme::RandomSpray => LbPolicy::RandomSpray,
+            Scheme::Flowlet => LbPolicy::Flowlet {
+                gap: Self::FLOWLET_GAP,
+            },
+            Scheme::Themis
+            | Scheme::ThemisPathMap
+            | Scheme::ThemisNoCompensation
+            | Scheme::SprayNoFilter => LbPolicy::Ecmp,
+        }
+    }
+
+    /// Whether this scheme deploys Themis middleware on the ToRs, and if
+    /// so, how. `base` supplies the fabric-derived parameters.
+    pub fn themis_config(&self, base: ThemisConfig) -> Option<ThemisConfig> {
+        match self {
+            Scheme::Ecmp | Scheme::AdaptiveRouting | Scheme::RandomSpray | Scheme::Flowlet => {
+                None
+            }
+            Scheme::Themis => Some(ThemisConfig {
+                spray_mode: SprayMode::DirectEgress,
+                ..base
+            }),
+            Scheme::ThemisPathMap => Some(base.with_pathmap()),
+            Scheme::ThemisNoCompensation => Some(base.without_compensation()),
+            Scheme::SprayNoFilter => Some(base.without_filtering()),
+        }
+    }
+
+    /// Whether the scheme sprays packets (out-of-order arrivals expected).
+    /// Flowlet switching only re-routes across genuine gaps, which cannot
+    /// reorder packets within a flowlet, so it does not count as spraying.
+    pub fn sprays(&self) -> bool {
+        !matches!(self, Scheme::Ecmp | Scheme::Flowlet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::TimeDelta;
+
+    fn base() -> ThemisConfig {
+        ThemisConfig::for_fabric(16, 400_000_000_000, TimeDelta::from_micros(2), 1500)
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in Scheme::ALL {
+            assert!(seen.insert(s.label()));
+        }
+    }
+
+    #[test]
+    fn baselines_have_no_themis() {
+        for s in [
+            Scheme::Ecmp,
+            Scheme::AdaptiveRouting,
+            Scheme::RandomSpray,
+            Scheme::Flowlet,
+        ] {
+            assert!(s.themis_config(base()).is_none());
+        }
+    }
+
+    #[test]
+    fn flowlet_uses_flowlet_policy() {
+        assert_eq!(
+            Scheme::Flowlet.lb_policy(),
+            LbPolicy::Flowlet {
+                gap: Scheme::FLOWLET_GAP
+            }
+        );
+        assert!(!Scheme::Flowlet.sprays());
+    }
+
+    #[test]
+    fn themis_variants_configure_correctly() {
+        let t = Scheme::Themis.themis_config(base()).unwrap();
+        assert!(t.filtering && t.compensation);
+        assert_eq!(t.spray_mode, SprayMode::DirectEgress);
+        let pm = Scheme::ThemisPathMap.themis_config(base()).unwrap();
+        assert_eq!(pm.spray_mode, SprayMode::PathMapRewrite);
+        let nc = Scheme::ThemisNoCompensation.themis_config(base()).unwrap();
+        assert!(nc.filtering && !nc.compensation);
+        let nf = Scheme::SprayNoFilter.themis_config(base()).unwrap();
+        assert!(!nf.filtering);
+    }
+
+    #[test]
+    fn themis_rides_on_ecmp_policy() {
+        assert_eq!(Scheme::Themis.lb_policy(), LbPolicy::Ecmp);
+        assert_eq!(Scheme::AdaptiveRouting.lb_policy(), LbPolicy::AdaptiveRouting);
+        assert!(!Scheme::Ecmp.sprays());
+        assert!(Scheme::Themis.sprays());
+    }
+}

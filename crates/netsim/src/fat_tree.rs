@@ -1,0 +1,476 @@
+//! 3-tier fat-tree fabric (Al-Fares et al. \[9\]).
+//!
+//! The paper's multi-tier deployment story (§3.2): in a 3-tier Clos the
+//! source ToR cannot pick the whole path by egress port — it controls
+//! only the edge → aggregation hop, while the aggregation switch's ECMP
+//! picks the core. Themis therefore rewrites the UDP source port through
+//! a PathMap so that *both* ECMP stages land on the desired relative
+//! path, with programmability required **only at the ToR**.
+//!
+//! ## Structure (radix `k`, `m = k/2`)
+//!
+//! * `k` pods; per pod `m` edge (ToR) switches and `m` aggregation
+//!   switches; `m²` core switches.
+//! * Edge `(p, e)`: `m` hosts + one uplink to each agg of pod `p`.
+//! * Agg `(p, a)`: downlinks to the pod's edges + uplinks to cores
+//!   `a·m + j` for `j < m`.
+//! * Core `c = a·m + j`: one port per pod, to agg `a` of that pod.
+//!
+//! Between hosts in different pods there are exactly `m²` equal-cost
+//! paths, indexed `path = agg_choice · m + core_choice` — realized by the
+//! edge ECMP stage reading hash bits `[0, log2 m)` and the agg stage
+//! reading bits `[8, 8 + log2 m)` (decorrelated views of one GF(2)-linear
+//! hash, as on real ASICs; see [`crate::lb::LbState::ecmp_shift`]).
+//!
+//! `m` must be a power of two so both stages are XOR-steerable.
+
+use crate::lb::LbPolicy;
+use crate::port::{EcnConfig, EgressPort, LinkSpec};
+use crate::switch::{PfcConfig, RouteEntry, Switch, SwitchConfig};
+use crate::topology::HostAttachment;
+use crate::types::{HostId, NodeId, PortId};
+use crate::world::World;
+
+/// Hash-view shift used by the aggregation tier (edges use shift 0).
+pub const AGG_ECMP_SHIFT: u32 = 8;
+
+/// Fat-tree fabric parameters.
+#[derive(Debug, Clone)]
+pub struct FatTreeConfig {
+    /// Switch radix `k` (even; `k/2` must be a power of two).
+    pub k: usize,
+    /// Host-to-edge link.
+    pub host_link: LinkSpec,
+    /// All switch-to-switch links.
+    pub fabric_link: LinkSpec,
+    /// Per-switch shared buffer.
+    pub buffer_bytes: u64,
+    /// Uplink LB policy on edges and aggs.
+    pub lb: LbPolicy,
+    /// Enable WRED/ECN marking on all ports.
+    pub ecn: bool,
+    /// Enable the loss oracle.
+    pub oracle_loss_notify: bool,
+    /// Hop-by-hop PFC on every switch; `None` = lossy fabric.
+    pub pfc: Option<PfcConfig>,
+    /// Strict control-packet priority on every switch port.
+    pub ctrl_priority: bool,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl FatTreeConfig {
+    /// A k=4 test fabric (16 hosts, 4 equal-cost inter-pod paths) at
+    /// 100 Gbps.
+    pub fn small(k: usize) -> FatTreeConfig {
+        FatTreeConfig {
+            k,
+            host_link: LinkSpec::gbps(100, 1),
+            fabric_link: LinkSpec::gbps(100, 1),
+            buffer_bytes: 64 * 1024 * 1024,
+            lb: LbPolicy::Ecmp,
+            ecn: true,
+            oracle_loss_notify: false,
+            pfc: None,
+            ctrl_priority: false,
+            seed: 1,
+        }
+    }
+
+    /// Hosts per pod: `(k/2)²`.
+    pub fn hosts_per_pod(&self) -> usize {
+        (self.k / 2) * (self.k / 2)
+    }
+
+    /// Total hosts: `k³/4`.
+    pub fn n_hosts(&self) -> usize {
+        self.k * self.hosts_per_pod()
+    }
+
+    /// Equal-cost paths between hosts in different pods: `(k/2)²`.
+    pub fn n_paths(&self) -> usize {
+        (self.k / 2) * (self.k / 2)
+    }
+}
+
+/// A built fat-tree: switches installed, host slots reserved.
+pub struct FatTreePlan {
+    /// The world (host slots empty).
+    pub world: World,
+    /// Host attachments, indexed by host id.
+    pub hosts: Vec<HostAttachment>,
+    /// Edge (ToR) switches, indexed `pod * m + e`.
+    pub edges: Vec<NodeId>,
+    /// Aggregation switches, indexed `pod * m + a`.
+    pub aggs: Vec<NodeId>,
+    /// Core switches, indexed `a * m + j`.
+    pub cores: Vec<NodeId>,
+    /// Inter-pod equal-cost path count `(k/2)²`.
+    pub n_paths: usize,
+    /// Radix.
+    pub k: usize,
+}
+
+impl FatTreePlan {
+    /// Pod of `host`.
+    pub fn pod_of(&self, host: HostId) -> usize {
+        let m = self.k / 2;
+        host.index() / (m * m)
+    }
+
+    /// Edge switch of `host`.
+    pub fn edge_of(&self, host: HostId) -> NodeId {
+        self.hosts[host.index()].tor
+    }
+}
+
+/// Build a `k`-ary fat-tree. Host `h` (pod `h / m²`, edge `(h / m) % m`,
+/// slot `h % m`) occupies entity slot `NodeId(h)`.
+pub fn build_fat_tree(cfg: &FatTreeConfig) -> FatTreePlan {
+    let k = cfg.k;
+    let m = k / 2;
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree radix must be even");
+    assert!(m.is_power_of_two(), "k/2 must be a power of two for XOR path steering");
+    let n_hosts = cfg.n_hosts();
+    let mut world = World::new();
+
+    let host_nodes: Vec<NodeId> = (0..n_hosts).map(|_| world.reserve()).collect();
+    for (h, node) in host_nodes.iter().enumerate() {
+        assert_eq!(node.0 as usize, h, "host node-id convention violated");
+    }
+
+    let mk_switch = |world: &mut World, salt: u64, shift: u32| {
+        world.add(Box::new(Switch::new(&SwitchConfig {
+            buffer_bytes: cfg.buffer_bytes,
+            lb: cfg.lb,
+            oracle_loss_notify: cfg.oracle_loss_notify,
+            seed: cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(salt),
+            ecmp_shift: shift,
+            pfc: cfg.pfc,
+            ctrl_priority: cfg.ctrl_priority,
+        })))
+    };
+
+    let edges: Vec<NodeId> = (0..k * m).map(|i| mk_switch(&mut world, i as u64, 0)).collect();
+    let aggs: Vec<NodeId> = (0..k * m)
+        .map(|i| mk_switch(&mut world, 10_000 + i as u64, AGG_ECMP_SHIFT))
+        .collect();
+    let cores: Vec<NodeId> = (0..m * m)
+        .map(|i| mk_switch(&mut world, 20_000 + i as u64, 0))
+        .collect();
+
+    let mut hosts = Vec::with_capacity(n_hosts);
+
+    // Helper closures for index math.
+    let edge_idx = |p: usize, e: usize| p * m + e;
+    let agg_idx = |p: usize, a: usize| p * m + a;
+    let core_idx = |a: usize, j: usize| a * m + j;
+    let host_id = |p: usize, e: usize, s: usize| p * m * m + e * m + s;
+    let pod_of_host = |h: usize| h / (m * m);
+    let edge_of_host = |h: usize| (h / m) % m;
+
+    // ---- edges ------------------------------------------------------
+    for p in 0..k {
+        for e in 0..m {
+            let id = edges[edge_idx(p, e)];
+            let mut sw = Switch::new(&SwitchConfig::default());
+            std::mem::swap(world.get_mut::<Switch>(id).expect("edge"), &mut sw);
+            // Host ports 0..m.
+            for s in 0..m {
+                let h = host_id(p, e, s);
+                let idx = sw.add_port(EgressPort::new(host_nodes[h], PortId(0), cfg.host_link), true);
+                debug_assert_eq!(idx, s);
+                hosts.push(HostAttachment {
+                    host: HostId(h as u32),
+                    node: host_nodes[h],
+                    tor: id,
+                    tor_port: PortId(s as u16),
+                    link: cfg.host_link,
+                });
+            }
+            // Uplinks m..2m: to each agg of this pod. Our packets arrive
+            // at agg (p, a) on its downlink port e.
+            let mut uplinks = Vec::with_capacity(m);
+            for a in 0..m {
+                let idx = sw.add_port(
+                    EgressPort::new(aggs[agg_idx(p, a)], PortId(e as u16), cfg.fabric_link),
+                    false,
+                );
+                uplinks.push(idx);
+            }
+            sw.set_uplinks(uplinks);
+            for h in 0..n_hosts {
+                let entry = if pod_of_host(h) == p && edge_of_host(h) == e {
+                    RouteEntry::Port((h % m) as u16)
+                } else {
+                    RouteEntry::Uplinks
+                };
+                sw.set_route(HostId(h as u32), entry);
+            }
+            if cfg.ecn {
+                sw.set_ecn_all_ports(|pt| Some(EcnConfig::for_bandwidth(pt.link.bandwidth_bps)));
+            }
+            std::mem::swap(world.get_mut::<Switch>(id).expect("edge"), &mut sw);
+        }
+    }
+
+    // ---- aggs -------------------------------------------------------
+    for p in 0..k {
+        for a in 0..m {
+            let id = aggs[agg_idx(p, a)];
+            let mut sw = Switch::new(&SwitchConfig::default());
+            std::mem::swap(world.get_mut::<Switch>(id).expect("agg"), &mut sw);
+            // Downlinks 0..m to edges; our packets arrive at edge (p, e)
+            // on its uplink port m + a.
+            for e in 0..m {
+                let idx = sw.add_port(
+                    EgressPort::new(
+                        edges[edge_idx(p, e)],
+                        PortId((m + a) as u16),
+                        cfg.fabric_link,
+                    ),
+                    false,
+                );
+                debug_assert_eq!(idx, e);
+            }
+            // Uplinks m..2m to cores a*m + j; arrive at core port p.
+            let mut uplinks = Vec::with_capacity(m);
+            for j in 0..m {
+                let idx = sw.add_port(
+                    EgressPort::new(cores[core_idx(a, j)], PortId(p as u16), cfg.fabric_link),
+                    false,
+                );
+                uplinks.push(idx);
+            }
+            sw.set_uplinks(uplinks);
+            for h in 0..n_hosts {
+                let entry = if pod_of_host(h) == p {
+                    RouteEntry::Port(edge_of_host(h) as u16)
+                } else {
+                    RouteEntry::Uplinks
+                };
+                sw.set_route(HostId(h as u32), entry);
+            }
+            if cfg.ecn {
+                sw.set_ecn_all_ports(|pt| Some(EcnConfig::for_bandwidth(pt.link.bandwidth_bps)));
+            }
+            std::mem::swap(world.get_mut::<Switch>(id).expect("agg"), &mut sw);
+        }
+    }
+
+    // ---- cores ------------------------------------------------------
+    for a in 0..m {
+        for j in 0..m {
+            let id = cores[core_idx(a, j)];
+            let mut sw = Switch::new(&SwitchConfig::default());
+            std::mem::swap(world.get_mut::<Switch>(id).expect("core"), &mut sw);
+            // Port p towards agg (p, a); arrives at agg uplink port m + j.
+            for p in 0..k {
+                let idx = sw.add_port(
+                    EgressPort::new(
+                        aggs[agg_idx(p, a)],
+                        PortId((m + j) as u16),
+                        cfg.fabric_link,
+                    ),
+                    false,
+                );
+                debug_assert_eq!(idx, p);
+            }
+            for h in 0..n_hosts {
+                sw.set_route(HostId(h as u32), RouteEntry::Port(pod_of_host(h) as u16));
+            }
+            if cfg.ecn {
+                sw.set_ecn_all_ports(|pt| Some(EcnConfig::for_bandwidth(pt.link.bandwidth_bps)));
+            }
+            std::mem::swap(world.get_mut::<Switch>(id).expect("core"), &mut sw);
+        }
+    }
+
+    FatTreePlan {
+        world,
+        hosts,
+        edges,
+        aggs,
+        cores,
+        n_paths: cfg.n_paths(),
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::packet::Packet;
+    use crate::types::QpId;
+    use crate::world::{Ctx, Entity};
+    use simcore::time::Nanos;
+
+    #[test]
+    fn k4_dimensions() {
+        let cfg = FatTreeConfig::small(4);
+        assert_eq!(cfg.n_hosts(), 16);
+        assert_eq!(cfg.n_paths(), 4);
+        let plan = build_fat_tree(&cfg);
+        assert_eq!(plan.hosts.len(), 16);
+        assert_eq!(plan.edges.len(), 8);
+        assert_eq!(plan.aggs.len(), 8);
+        assert_eq!(plan.cores.len(), 4);
+        assert_eq!(plan.world.len(), 16 + 8 + 8 + 4);
+    }
+
+    #[test]
+    fn k8_dimensions() {
+        let cfg = FatTreeConfig::small(8);
+        let plan = build_fat_tree(&cfg);
+        assert_eq!(plan.hosts.len(), 128);
+        assert_eq!(plan.n_paths, 16);
+        assert_eq!(plan.cores.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_k6() {
+        build_fat_tree(&FatTreeConfig::small(6));
+    }
+
+    #[test]
+    fn pods_and_edges_assigned_correctly() {
+        let plan = build_fat_tree(&FatTreeConfig::small(4));
+        assert_eq!(plan.pod_of(HostId(0)), 0);
+        assert_eq!(plan.pod_of(HostId(3)), 0);
+        assert_eq!(plan.pod_of(HostId(4)), 1);
+        assert_eq!(plan.pod_of(HostId(15)), 3);
+        // Hosts 0,1 share edge (0,0); hosts 2,3 share edge (0,1).
+        assert_eq!(plan.edge_of(HostId(0)), plan.edge_of(HostId(1)));
+        assert_ne!(plan.edge_of(HostId(0)), plan.edge_of(HostId(2)));
+    }
+
+    /// Sink that records arrivals.
+    struct Sink {
+        got: Vec<Packet>,
+    }
+    impl Entity for Sink {
+        fn handle(&mut self, ev: Event, _ctx: &mut Ctx<'_>) {
+            if let Event::Packet { pkt, .. } = ev {
+                self.got.push(pkt);
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Inject packets at a source edge and verify they reach the right
+    /// host across pods, for many entropy values (all 4 paths work).
+    #[test]
+    fn inter_pod_forwarding_reaches_destination_on_every_path() {
+        let cfg = FatTreeConfig::small(4);
+        let mut plan = build_fat_tree(&cfg);
+        // Install sinks at every host slot.
+        for att in &plan.hosts {
+            plan.world.install(att.node, Box::new(Sink { got: vec![] }));
+        }
+        // Host 0 (pod 0) -> host 15 (pod 3), 64 different sports.
+        let src_edge = plan.edge_of(HostId(0));
+        for sport in 0..64u16 {
+            let pkt = Packet::data(
+                QpId(sport as u32),
+                HostId(0),
+                HostId(15),
+                1000 + sport * 7,
+                0,
+                0,
+                false,
+                1000,
+                false,
+            );
+            plan.world.seed_event(
+                Nanos(sport as u64),
+                src_edge,
+                Event::Packet {
+                    pkt,
+                    in_port: PortId(0), // host-facing
+                },
+            );
+        }
+        plan.world.run();
+        let sink: &Sink = plan.world.get(NodeId(15)).unwrap();
+        assert_eq!(sink.got.len(), 64, "every packet must arrive");
+        // And nothing leaked to other hosts.
+        for h in 0..15u32 {
+            let s: &Sink = plan.world.get(NodeId(h)).unwrap();
+            assert!(s.got.is_empty(), "host {h} received stray packets");
+        }
+    }
+
+    #[test]
+    fn intra_pod_cross_edge_goes_via_agg_only() {
+        let cfg = FatTreeConfig::small(4);
+        let mut plan = build_fat_tree(&cfg);
+        for att in &plan.hosts {
+            plan.world.install(att.node, Box::new(Sink { got: vec![] }));
+        }
+        // Host 0 (edge 0,0) -> host 2 (edge 0,1): same pod.
+        let pkt = Packet::data(QpId(1), HostId(0), HostId(2), 777, 0, 0, false, 1000, false);
+        plan.world.seed_event(
+            Nanos::ZERO,
+            plan.edge_of(HostId(0)),
+            Event::Packet {
+                pkt,
+                in_port: PortId(0),
+            },
+        );
+        plan.world.run();
+        let sink: &Sink = plan.world.get(NodeId(2)).unwrap();
+        assert_eq!(sink.got.len(), 1);
+        // Cores saw nothing.
+        for &c in &plan.cores {
+            let sw: &Switch = plan.world.get(c).unwrap();
+            assert_eq!(sw.stats.rx_packets, 0, "intra-pod traffic must not hit cores");
+        }
+    }
+
+    #[test]
+    fn ecmp_uses_all_four_inter_pod_paths() {
+        let cfg = FatTreeConfig::small(4);
+        let mut plan = build_fat_tree(&cfg);
+        for att in &plan.hosts {
+            plan.world.install(att.node, Box::new(Sink { got: vec![] }));
+        }
+        let src_edge = plan.edge_of(HostId(0));
+        // Many flows with different entropy: every core should see some.
+        for sport in 0..256u16 {
+            let pkt = Packet::data(
+                QpId(sport as u32),
+                HostId(0),
+                HostId(15),
+                sport.wrapping_mul(2654),
+                0,
+                0,
+                false,
+                1000,
+                false,
+            );
+            plan.world.seed_event(
+                Nanos(sport as u64 * 200),
+                src_edge,
+                Event::Packet {
+                    pkt,
+                    in_port: PortId(0),
+                },
+            );
+        }
+        plan.world.run();
+        for &c in &plan.cores {
+            let sw: &Switch = plan.world.get(c).unwrap();
+            assert!(
+                sw.stats.rx_packets > 0,
+                "core {c} unused: hash views too correlated"
+            );
+        }
+    }
+}

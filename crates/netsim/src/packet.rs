@@ -1,0 +1,271 @@
+//! Packets.
+//!
+//! The simulator models RoCEv2-shaped traffic. Three properties of
+//! commodity-RNIC packets matter for Themis and are modeled faithfully:
+//!
+//! 1. Data packets carry a 24-bit packet sequence number (PSN).
+//! 2. ACK/NACK packets carry **only the expected PSN (ePSN)** — never the
+//!    PSN of the out-of-order packet that triggered them (§2.2). This is
+//!    what forces Themis-D's PSN-queue design.
+//! 3. The UDP source port is the entropy field ECMP hashes on; rewriting
+//!    it (Themis-S PathMap) changes the path taken by core switches.
+
+use crate::types::{HostId, QpId};
+
+/// 24-bit PSN modulus used on the wire (RoCE BTH PSN is 3 bytes).
+pub const PSN_MODULUS: u32 = 1 << 24;
+
+/// Fixed per-packet wire overhead in bytes
+/// (Ethernet + IPv4 + UDP + BTH + ICRC, rounded).
+pub const WIRE_HEADER_BYTES: u32 = 64;
+
+/// Wire size of control packets (ACK / NACK / CNP / handshake).
+pub const CONTROL_PACKET_BYTES: u32 = 64;
+
+/// The role-specific part of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A data segment of a message.
+    Data {
+        /// 24-bit packet sequence number.
+        psn: u32,
+        /// Tag of the application message this segment belongs to.
+        msg_tag: u64,
+        /// Whether this is the final segment of the message.
+        last: bool,
+        /// Payload bytes carried (≤ MTU).
+        payload: u32,
+        /// True when this transmission is a retransmission.
+        retransmission: bool,
+    },
+    /// Positive acknowledgment: everything below `epsn` was received.
+    Ack {
+        /// Receiver's expected PSN (cumulative).
+        epsn: u32,
+    },
+    /// Negative acknowledgment. Carries only the receiver's expected PSN;
+    /// commodity RNICs do not reveal which out-of-order packet triggered it.
+    Nack {
+        /// Receiver's expected PSN at NACK-generation time.
+        epsn: u32,
+        /// True when this NACK was synthesized by a ToR switch on behalf of
+        /// the RNIC (Themis NACK compensation, §3.4). Exists for tracing
+        /// only; senders treat compensated NACKs identically.
+        compensated: bool,
+    },
+    /// DCQCN congestion notification packet (receiver → sender).
+    Cnp,
+    /// Connection-setup notification; lets ToR middleware provision per-QP
+    /// state, mirroring the paper's interception of RNIC handshakes (§3.3).
+    Handshake,
+}
+
+impl PacketKind {
+    /// Short label for traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PacketKind::Data { .. } => "DATA",
+            PacketKind::Ack { .. } => "ACK",
+            PacketKind::Nack { .. } => "NACK",
+            PacketKind::Cnp => "CNP",
+            PacketKind::Handshake => "HS",
+        }
+    }
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Connection this packet belongs to.
+    pub qp: QpId,
+    /// Sending host (synthetic source IP).
+    pub src: HostId,
+    /// Destination host (synthetic destination IP).
+    pub dst: HostId,
+    /// UDP source port — the ECMP entropy field. Themis-S rewrites this in
+    /// PathMap mode.
+    pub udp_sport: u16,
+    /// Role-specific contents.
+    pub kind: PacketKind,
+    /// Total wire size in bytes (headers + payload).
+    pub wire_bytes: u32,
+    /// ECN Congestion-Experienced mark.
+    pub ecn_ce: bool,
+}
+
+impl Packet {
+    /// Build a data packet. `wire_bytes` = payload + fixed header overhead.
+    #[allow(clippy::too_many_arguments)]
+    pub fn data(
+        qp: QpId,
+        src: HostId,
+        dst: HostId,
+        udp_sport: u16,
+        psn: u32,
+        msg_tag: u64,
+        last: bool,
+        payload: u32,
+        retransmission: bool,
+    ) -> Packet {
+        debug_assert!(psn < PSN_MODULUS);
+        Packet {
+            qp,
+            src,
+            dst,
+            udp_sport,
+            kind: PacketKind::Data {
+                psn,
+                msg_tag,
+                last,
+                payload,
+                retransmission,
+            },
+            wire_bytes: payload + WIRE_HEADER_BYTES,
+            ecn_ce: false,
+        }
+    }
+
+    /// Build an ACK carrying the receiver's cumulative expected PSN.
+    pub fn ack(qp: QpId, src: HostId, dst: HostId, udp_sport: u16, epsn: u32) -> Packet {
+        Packet {
+            qp,
+            src,
+            dst,
+            udp_sport,
+            kind: PacketKind::Ack { epsn },
+            wire_bytes: CONTROL_PACKET_BYTES,
+            ecn_ce: false,
+        }
+    }
+
+    /// Build a NACK. `compensated` marks ToR-synthesized NACKs (§3.4).
+    pub fn nack(
+        qp: QpId,
+        src: HostId,
+        dst: HostId,
+        udp_sport: u16,
+        epsn: u32,
+        compensated: bool,
+    ) -> Packet {
+        Packet {
+            qp,
+            src,
+            dst,
+            udp_sport,
+            kind: PacketKind::Nack { epsn, compensated },
+            wire_bytes: CONTROL_PACKET_BYTES,
+            ecn_ce: false,
+        }
+    }
+
+    /// Build a congestion notification packet.
+    pub fn cnp(qp: QpId, src: HostId, dst: HostId, udp_sport: u16) -> Packet {
+        Packet {
+            qp,
+            src,
+            dst,
+            udp_sport,
+            kind: PacketKind::Cnp,
+            wire_bytes: CONTROL_PACKET_BYTES,
+            ecn_ce: false,
+        }
+    }
+
+    /// Build a handshake/connection-setup notification.
+    pub fn handshake(qp: QpId, src: HostId, dst: HostId, udp_sport: u16) -> Packet {
+        Packet {
+            qp,
+            src,
+            dst,
+            udp_sport,
+            kind: PacketKind::Handshake,
+            wire_bytes: CONTROL_PACKET_BYTES,
+            ecn_ce: false,
+        }
+    }
+
+    /// The PSN if this is a data packet.
+    #[inline]
+    pub fn data_psn(&self) -> Option<u32> {
+        match self.kind {
+            PacketKind::Data { psn, .. } => Some(psn),
+            _ => None,
+        }
+    }
+
+    /// True for data packets.
+    #[inline]
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, PacketKind::Data { .. })
+    }
+
+    /// True for NACK packets.
+    #[inline]
+    pub fn is_nack(&self) -> bool {
+        matches!(self.kind, PacketKind::Nack { .. })
+    }
+
+    /// Payload bytes (0 for control packets).
+    #[inline]
+    pub fn payload_bytes(&self) -> u32 {
+        match self.kind {
+            PacketKind::Data { payload, .. } => payload,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qp() -> QpId {
+        QpId(1)
+    }
+
+    #[test]
+    fn data_packet_wire_size_includes_headers() {
+        let p = Packet::data(qp(), HostId(0), HostId(1), 4000, 7, 0, false, 1000, false);
+        assert_eq!(p.wire_bytes, 1000 + WIRE_HEADER_BYTES);
+        assert_eq!(p.payload_bytes(), 1000);
+        assert!(p.is_data());
+        assert_eq!(p.data_psn(), Some(7));
+    }
+
+    #[test]
+    fn control_packets_have_fixed_size() {
+        let a = Packet::ack(qp(), HostId(1), HostId(0), 4000, 10);
+        let n = Packet::nack(qp(), HostId(1), HostId(0), 4000, 10, false);
+        let c = Packet::cnp(qp(), HostId(1), HostId(0), 4000);
+        for p in [a, n, c] {
+            assert_eq!(p.wire_bytes, CONTROL_PACKET_BYTES);
+            assert_eq!(p.payload_bytes(), 0);
+            assert!(!p.is_data());
+        }
+        assert!(n.is_nack());
+        assert!(!a.is_nack());
+    }
+
+    #[test]
+    fn nack_carries_only_epsn() {
+        // The type system enforces the paper's §2.2 constraint: there is no
+        // field for the triggering PSN on a NACK.
+        let n = Packet::nack(qp(), HostId(1), HostId(0), 4000, 42, false);
+        match n.kind {
+            PacketKind::Nack { epsn, compensated } => {
+                assert_eq!(epsn, 42);
+                assert!(!compensated);
+            }
+            _ => panic!("expected NACK"),
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            Packet::handshake(qp(), HostId(0), HostId(1), 1).kind.label(),
+            "HS"
+        );
+        assert_eq!(Packet::cnp(qp(), HostId(0), HostId(1), 1).kind.label(), "CNP");
+    }
+}

@@ -1,0 +1,94 @@
+//! Identifier newtypes shared across the simulator.
+//!
+//! Hosts, switches and the workload driver are all *entities* addressed by
+//! [`NodeId`]. Hosts additionally have a dense [`HostId`] used for routing
+//! tables and as the synthetic IP address. Reliable connections (RDMA queue
+//! pairs) are addressed by a globally unique [`QpId`].
+
+use core::fmt;
+
+/// Index of an entity (host NIC, switch, driver) in the [`crate::World`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense host index; doubles as the host's synthetic IP address for
+/// ECMP hashing and routing-table lookup.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    /// Raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A port index within one entity. Switch radix in this repo is ≤ 64k.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// Raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Globally unique reliable-connection (queue pair) identifier.
+///
+/// Real RoCE QPs are identified by a (GIDs, QPN) tuple of about 13 bytes —
+/// the figure the §4 memory model charges per flow-table entry. The
+/// simulator uses a dense `u32` and keeps the 13-byte accounting in
+/// `themis_core::memory`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct QpId(pub u32);
+
+impl QpId {
+    /// Raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+impl fmt::Display for QpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qp{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(3).index(), 3);
+        assert_eq!(format!("{}", HostId(7)), "host7");
+        assert_eq!(format!("{}", QpId(9)), "qp9");
+        assert_eq!(PortId(4).index(), 4);
+    }
+}

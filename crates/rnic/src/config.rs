@@ -1,0 +1,202 @@
+//! NIC and congestion-control configuration.
+
+use simcore::time::TimeDelta;
+
+/// Which reliable-transport generation the NIC models (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// Previous-generation RNICs (CX-4/5): receiver drops out-of-order
+    /// packets; sender rewinds to the NACKed ePSN.
+    GoBackN,
+    /// Current-generation commodity RNICs (CX-6/7, BF3): out-of-order
+    /// reception into a bitmap, NACK once per ePSN, selective retransmit.
+    /// This is the "NIC-SR" the paper builds on.
+    SelectiveRepeat,
+    /// The Fig 1d upper bound: selective repeat whose receiver NACKs only
+    /// packets the simulator's loss oracle reported as actually dropped,
+    /// and whose NACKs never reduce the sending rate.
+    IdealOracle,
+}
+
+/// DCQCN parameters (Zhu et al., SIGCOMM'15), exposing the paper's
+/// evaluation knobs `T_I` (rate-increase timer) and `T_D` (rate-decrease
+/// interval).
+#[derive(Debug, Clone, Copy)]
+pub struct CcConfig {
+    /// Master switch; disabled = fixed line rate (Ideal baseline).
+    pub enabled: bool,
+    /// Rate-increase timer T_I: period of recovery events at the sender.
+    pub ti: TimeDelta,
+    /// Rate-decrease interval T_D: minimum spacing between rate cuts.
+    pub td: TimeDelta,
+    /// EWMA gain `g` for the congestion-extent estimate alpha.
+    pub g: f64,
+    /// Alpha-update timer (55 µs in the DCQCN paper).
+    pub alpha_timer: TimeDelta,
+    /// Additive-increase step in bits/s.
+    pub rai_bps: f64,
+    /// Hyper-increase step in bits/s.
+    pub rhai_bps: f64,
+    /// Number of fast-recovery iterations before additive increase.
+    pub fast_recovery_threshold: u32,
+    /// Byte counter: every this many transmitted bytes also triggers an
+    /// increase event.
+    pub byte_counter: u64,
+    /// Rate floor in bits/s.
+    pub min_rate_bps: f64,
+    /// Notification-point minimum CNP spacing per QP (50 µs typical).
+    pub cnp_interval: TimeDelta,
+    /// Whether a NACK triggers a rate cut — the "unnecessary slow start"
+    /// of §2.2. True for commodity NIC-SR; false for the Ideal baseline.
+    pub nack_slowdown: bool,
+    /// Multiplicative factor applied to the current rate on a NACK cut.
+    pub nack_cut_factor: f64,
+}
+
+impl CcConfig {
+    /// DCQCN with the recommended parameters of HPCC/DCQCN deployments,
+    /// scaled to `line_rate_bps`: T_I = 900 µs, T_D = 4 µs (the leftmost
+    /// configuration of Fig 5).
+    pub fn recommended(line_rate_bps: u64) -> CcConfig {
+        CcConfig {
+            enabled: true,
+            ti: TimeDelta::from_micros(900),
+            td: TimeDelta::from_micros(4),
+            g: 1.0 / 256.0,
+            alpha_timer: TimeDelta::from_micros(55),
+            rai_bps: line_rate_bps as f64 / 2000.0,
+            rhai_bps: line_rate_bps as f64 / 200.0,
+            fast_recovery_threshold: 5,
+            byte_counter: 10 * 1024 * 1024,
+            min_rate_bps: line_rate_bps as f64 / 1000.0,
+            cnp_interval: TimeDelta::from_micros(50),
+            nack_slowdown: true,
+            nack_cut_factor: 0.5,
+        }
+    }
+
+    /// The paper's Fig 5 sweep points: `(T_I, T_D)` in microseconds.
+    pub fn paper_sweep() -> [(u64, u64); 5] {
+        [(900, 4), (300, 4), (10, 4), (10, 50), (10, 200)]
+    }
+
+    /// A configuration with explicit `(T_I, T_D)` microsecond values,
+    /// other parameters as [`CcConfig::recommended`].
+    pub fn with_ti_td(line_rate_bps: u64, ti_us: u64, td_us: u64) -> CcConfig {
+        CcConfig {
+            ti: TimeDelta::from_micros(ti_us),
+            td: TimeDelta::from_micros(td_us),
+            ..CcConfig::recommended(line_rate_bps)
+        }
+    }
+
+    /// Congestion control disabled (fixed line rate, no NACK slowdown).
+    pub fn disabled(line_rate_bps: u64) -> CcConfig {
+        CcConfig {
+            enabled: false,
+            nack_slowdown: false,
+            ..CcConfig::recommended(line_rate_bps)
+        }
+    }
+}
+
+/// Host NIC configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NicConfig {
+    /// Payload bytes per full data packet (the paper's MTU row: 1500 B).
+    pub mtu_payload: u32,
+    /// Reliable-transport generation.
+    pub transport: TransportMode,
+    /// Send a cumulative ACK after this many in-order arrivals (1 = every
+    /// packet). Message-completing and ePSN-jumping arrivals always ACK.
+    pub ack_coalescing: u32,
+    /// Retransmission timeout: last-resort recovery when no NACK can
+    /// arrive (e.g. tail loss, or a blocked NACK that was never
+    /// compensated).
+    pub rto: TimeDelta,
+    /// Line rate of the NIC's port in bits/s.
+    pub line_rate_bps: u64,
+    /// Congestion-control parameters.
+    pub cc: CcConfig,
+    /// RNG seed (sport selection etc.).
+    pub seed: u64,
+}
+
+impl NicConfig {
+    /// NIC-SR + DCQCN defaults at the given line rate.
+    pub fn nic_sr(line_rate_bps: u64) -> NicConfig {
+        NicConfig {
+            mtu_payload: 1500,
+            transport: TransportMode::SelectiveRepeat,
+            ack_coalescing: 1,
+            rto: TimeDelta::from_millis(1),
+            line_rate_bps,
+            cc: CcConfig::recommended(line_rate_bps),
+            seed: 7,
+        }
+    }
+
+    /// The Ideal transport of Fig 1d: oracle-filtered NACKs, fixed rate.
+    pub fn ideal(line_rate_bps: u64) -> NicConfig {
+        NicConfig {
+            transport: TransportMode::IdealOracle,
+            cc: CcConfig::disabled(line_rate_bps),
+            ..NicConfig::nic_sr(line_rate_bps)
+        }
+    }
+
+    /// Packets needed for a message of `bytes`.
+    pub fn packets_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.mtu_payload as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommended_matches_paper_defaults() {
+        let cc = CcConfig::recommended(400_000_000_000);
+        assert_eq!(cc.ti, TimeDelta::from_micros(900));
+        assert_eq!(cc.td, TimeDelta::from_micros(4));
+        assert!(cc.enabled);
+        assert!(cc.nack_slowdown);
+    }
+
+    #[test]
+    fn sweep_matches_figure_5_axis() {
+        assert_eq!(
+            CcConfig::paper_sweep(),
+            [(900, 4), (300, 4), (10, 4), (10, 50), (10, 200)]
+        );
+    }
+
+    #[test]
+    fn with_ti_td_overrides_only_timers() {
+        let a = CcConfig::recommended(100_000_000_000);
+        let b = CcConfig::with_ti_td(100_000_000_000, 10, 200);
+        assert_eq!(b.ti, TimeDelta::from_micros(10));
+        assert_eq!(b.td, TimeDelta::from_micros(200));
+        assert_eq!(a.g, b.g);
+        assert_eq!(a.rai_bps, b.rai_bps);
+    }
+
+    #[test]
+    fn ideal_disables_slowdowns() {
+        let n = NicConfig::ideal(100_000_000_000);
+        assert_eq!(n.transport, TransportMode::IdealOracle);
+        assert!(!n.cc.enabled);
+        assert!(!n.cc.nack_slowdown);
+    }
+
+    #[test]
+    fn packets_for_rounds_up() {
+        let n = NicConfig::nic_sr(100_000_000_000);
+        assert_eq!(n.packets_for(1), 1);
+        assert_eq!(n.packets_for(1500), 1);
+        assert_eq!(n.packets_for(1501), 2);
+        assert_eq!(n.packets_for(3000), 2);
+        assert_eq!(n.packets_for(0), 1);
+    }
+}

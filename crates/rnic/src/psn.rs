@@ -1,0 +1,112 @@
+//! 24-bit packet-sequence-number arithmetic.
+//!
+//! RoCE carries a 3-byte PSN on the wire (the BTH PSN field). The
+//! simulator keeps *extended* 64-bit PSNs internally — monotonically
+//! increasing, never wrapping — and converts at the "wire" boundary:
+//! outgoing packets truncate ([`wire_psn`]), incoming packets are
+//! re-extended against a local reference ([`extend24`]), exactly as real
+//! endpoint implementations reconstruct sequence numbers from a window.
+
+use netsim::packet::PSN_MODULUS;
+
+/// Half the PSN space; the disambiguation window for [`extend24`].
+const HALF: u64 = (PSN_MODULUS as u64) / 2;
+
+/// Truncate an extended PSN to its 24-bit wire representation.
+#[inline]
+pub fn wire_psn(ext: u64) -> u32 {
+    (ext % PSN_MODULUS as u64) as u32
+}
+
+/// Re-extend a 24-bit wire PSN to the 64-bit value closest to `reference`.
+///
+/// Correct as long as the true value lies within ±2²³ of `reference`,
+/// which holds whenever in-flight data is below 2²³ packets — far beyond
+/// any realistic bandwidth-delay product.
+#[inline]
+pub fn extend24(wire: u32, reference: u64) -> u64 {
+    debug_assert!(wire < PSN_MODULUS);
+    let modulus = PSN_MODULUS as u64;
+    let base = reference & !(modulus - 1);
+    let candidate = base | wire as u64;
+    // Pick candidate, candidate ± modulus — whichever is nearest reference.
+    let mut best = candidate;
+    let mut best_dist = candidate.abs_diff(reference);
+    if candidate >= modulus {
+        let lower = candidate - modulus;
+        let d = lower.abs_diff(reference);
+        if d < best_dist {
+            best = lower;
+            best_dist = d;
+        }
+    }
+    let upper = candidate + modulus;
+    let d = upper.abs_diff(reference);
+    if d < best_dist {
+        best = upper;
+    }
+    debug_assert!(best.abs_diff(reference) <= HALF, "PSN window exceeded");
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_wraps() {
+        assert_eq!(wire_psn(0), 0);
+        assert_eq!(wire_psn(PSN_MODULUS as u64 - 1), PSN_MODULUS - 1);
+        assert_eq!(wire_psn(PSN_MODULUS as u64), 0);
+        assert_eq!(wire_psn(PSN_MODULUS as u64 + 5), 5);
+    }
+
+    #[test]
+    fn extend_identity_within_window() {
+        for ext in [0u64, 1, 100, 1 << 20, (1 << 24) - 1] {
+            assert_eq!(extend24(wire_psn(ext), ext), ext);
+        }
+    }
+
+    #[test]
+    fn extend_across_wrap_forward() {
+        // Reference just below a wrap boundary; wire value just past it.
+        let reference = (1u64 << 24) - 3;
+        let true_val = (1u64 << 24) + 5;
+        assert_eq!(extend24(wire_psn(true_val), reference), true_val);
+    }
+
+    #[test]
+    fn extend_across_wrap_backward() {
+        // Reference just past a wrap; wire value slightly behind it.
+        let reference = (1u64 << 24) + 2;
+        let true_val = (1u64 << 24) - 4;
+        assert_eq!(extend24(wire_psn(true_val), reference), true_val);
+    }
+
+    #[test]
+    fn extend_many_wraps() {
+        let reference = 10 * (1u64 << 24) + 12345;
+        for delta in [-5000i64, -1, 0, 1, 5000] {
+            let true_val = (reference as i64 + delta) as u64;
+            assert_eq!(extend24(wire_psn(true_val), reference), true_val);
+        }
+    }
+
+    #[test]
+    fn round_trip_exhaustive_near_boundaries() {
+        for boundary in 1u64..4 {
+            let b = boundary << 24;
+            for r in (b - 100)..(b + 100) {
+                for d in 0..50u64 {
+                    let t = r + d;
+                    assert_eq!(extend24(wire_psn(t), r), t, "r={r} t={t}");
+                    if r >= d {
+                        let t = r - d;
+                        assert_eq!(extend24(wire_psn(t), r), t, "r={r} t={t}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The simulation run loop.
+//!
+//! [`Engine`] owns the clock and the event queue and hands events to a
+//! dispatcher closure one at a time. Higher layers (the network `World`)
+//! decide what an event *means*; the engine only guarantees ordering,
+//! monotonic time, and the stopping conditions (horizon / event budget /
+//! queue exhaustion).
+
+use crate::event::{EventQueue, Scheduled};
+use crate::time::{Nanos, TimeDelta};
+
+/// Why [`Engine::run_with`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained completely.
+    QueueEmpty,
+    /// The next event lay beyond the configured time horizon.
+    HorizonReached,
+    /// The configured maximum number of events was dispatched.
+    EventBudgetExhausted,
+    /// The dispatcher requested an early stop.
+    DispatcherStopped,
+}
+
+/// Flow-control decision returned by the dispatcher for each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep running.
+    Continue,
+    /// Stop after this event (e.g. the workload completed).
+    Stop,
+}
+
+/// A discrete-event engine over payload type `T`.
+///
+/// ```
+/// use simcore::engine::{Control, Engine};
+/// use simcore::time::Nanos;
+///
+/// let mut engine: Engine<&str> = Engine::new();
+/// engine.schedule_at(Nanos(20), "second");
+/// engine.schedule_at(Nanos(10), "first");
+/// let mut seen = Vec::new();
+/// engine.run_with(|_, ev| {
+///     seen.push(ev.payload);
+///     Control::Continue
+/// });
+/// assert_eq!(seen, ["first", "second"]);
+/// assert_eq!(engine.now(), Nanos(20));
+/// ```
+#[derive(Debug)]
+pub struct Engine<T> {
+    queue: EventQueue<T>,
+    now: Nanos,
+    dispatched: u64,
+    /// Events at or beyond this time are not dispatched.
+    pub horizon: Nanos,
+    /// Maximum number of events to dispatch (guard against runaway loops).
+    pub max_events: u64,
+}
+
+impl<T> Default for Engine<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Engine<T> {
+    /// A fresh engine at time zero with no limits.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: Nanos::ZERO,
+            dispatched: 0,
+            horizon: Nanos::MAX,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    #[inline]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `payload` `delay` after the current time.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: TimeDelta, payload: T) {
+        self.queue.push(self.now + delay, payload);
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// `at` is clamped to the current time: scheduling into the past would
+    /// break causality, so such requests are delivered "now" instead (this
+    /// can only arise from caller arithmetic bugs; a debug assertion flags
+    /// them in test builds).
+    #[inline]
+    pub fn schedule_at(&mut self, at: Nanos, payload: T) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        self.queue.push(at.max(self.now), payload);
+    }
+
+    /// Pop the next event and advance the clock to it.
+    ///
+    /// Returns `None` when the queue is empty, the horizon is reached, or
+    /// the event budget is exhausted. This is the primitive [`Self::run_with`]
+    /// is built on; exposed so callers can interleave other work.
+    pub fn step(&mut self) -> Option<Scheduled<T>> {
+        if self.dispatched >= self.max_events {
+            return None;
+        }
+        match self.queue.peek_time() {
+            Some(t) if t <= self.horizon => {
+                let ev = self.queue.pop().expect("peek/pop mismatch");
+                debug_assert!(ev.at >= self.now, "event queue went backwards");
+                self.now = ev.at;
+                self.dispatched += 1;
+                Some(ev)
+            }
+            _ => None,
+        }
+    }
+
+    /// Run until a stopping condition, calling `dispatch` for each event.
+    pub fn run_with(&mut self, mut dispatch: impl FnMut(&mut Engine<T>, Scheduled<T>) -> Control) -> StopReason {
+        loop {
+            if self.dispatched >= self.max_events {
+                return StopReason::EventBudgetExhausted;
+            }
+            let ev = match self.queue.peek_time() {
+                None => return StopReason::QueueEmpty,
+                Some(t) if t > self.horizon => return StopReason::HorizonReached,
+                Some(_) => self.queue.pop().expect("peek/pop mismatch"),
+            };
+            self.now = ev.at;
+            self.dispatched += 1;
+            if let Control::Stop = dispatch(self, ev) {
+                return StopReason::DispatcherStopped;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(Nanos(100), 1);
+        e.schedule_at(Nanos(50), 2);
+        let ev = e.step().unwrap();
+        assert_eq!(ev.payload, 2);
+        assert_eq!(e.now(), Nanos(50));
+        let ev = e.step().unwrap();
+        assert_eq!(ev.payload, 1);
+        assert_eq!(e.now(), Nanos(100));
+        assert!(e.step().is_none());
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule_at(Nanos(10), "first");
+        e.step();
+        e.schedule_in(TimeDelta(5), "second");
+        let ev = e.step().unwrap();
+        assert_eq!(ev.at, Nanos(15));
+        assert_eq!(ev.payload, "second");
+    }
+
+    #[test]
+    fn run_with_drains_queue() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            e.schedule_at(Nanos(i as u64), i);
+        }
+        let mut seen = Vec::new();
+        let reason = e.run_with(|_, ev| {
+            seen.push(ev.payload);
+            Control::Continue
+        });
+        assert_eq!(reason, StopReason::QueueEmpty);
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dispatcher_can_reschedule() {
+        // A self-perpetuating timer that stops after 5 firings.
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(Nanos(0), 0);
+        let mut count = 0;
+        let reason = e.run_with(|eng, ev| {
+            count += 1;
+            if ev.payload < 4 {
+                eng.schedule_in(TimeDelta(10), ev.payload + 1);
+            }
+            Control::Continue
+        });
+        assert_eq!(reason, StopReason::QueueEmpty);
+        assert_eq!(count, 5);
+        assert_eq!(e.now(), Nanos(40));
+    }
+
+    #[test]
+    fn horizon_stops_run() {
+        let mut e: Engine<u32> = Engine::new();
+        e.horizon = Nanos(100);
+        e.schedule_at(Nanos(50), 1);
+        e.schedule_at(Nanos(150), 2);
+        let mut seen = Vec::new();
+        let reason = e.run_with(|_, ev| {
+            seen.push(ev.payload);
+            Control::Continue
+        });
+        assert_eq!(reason, StopReason::HorizonReached);
+        assert_eq!(seen, vec![1]);
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn event_budget_stops_run() {
+        let mut e: Engine<u32> = Engine::new();
+        e.max_events = 3;
+        for i in 0..10 {
+            e.schedule_at(Nanos(i as u64), i);
+        }
+        let reason = e.run_with(|_, _| Control::Continue);
+        assert_eq!(reason, StopReason::EventBudgetExhausted);
+        assert_eq!(e.dispatched(), 3);
+    }
+
+    #[test]
+    fn dispatcher_stop_is_honored() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            e.schedule_at(Nanos(i as u64), i);
+        }
+        let reason = e.run_with(|_, ev| {
+            if ev.payload == 4 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(reason, StopReason::DispatcherStopped);
+        assert_eq!(e.dispatched(), 5);
+    }
+}

@@ -1,0 +1,171 @@
+//! Time-ordered event queue with deterministic tie-breaking.
+//!
+//! The queue is a binary min-heap keyed on `(time, seq)`, where `seq` is a
+//! monotonically increasing insertion counter. Two events scheduled for the
+//! same instant are therefore delivered in the order they were scheduled,
+//! which makes whole-simulation replays bit-identical — a property the test
+//! suite checks end-to-end.
+
+use crate::time::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event plus its delivery metadata, as stored in the queue.
+#[derive(Debug, Clone)]
+pub struct Scheduled<T> {
+    /// Delivery time.
+    pub at: Nanos,
+    /// Insertion sequence number; breaks ties deterministically.
+    pub seq: u64,
+    /// The payload delivered to the dispatcher.
+    pub payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `payload` for delivery at absolute time `at`.
+    #[inline]
+    pub fn push(&mut self, at: Nanos, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Remove and return the earliest event, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Scheduled<T>> {
+        self.heap.pop()
+    }
+
+    /// Delivery time of the earliest pending event.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Nanos(30), "c");
+        q.push(Nanos(10), "a");
+        q.push(Nanos(20), "b");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Nanos(42), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().payload, i);
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Nanos(5), 5);
+        q.push(Nanos(1), 1);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        q.push(Nanos(3), 3);
+        q.push(Nanos(2), 2);
+        assert_eq!(q.pop().unwrap().payload, 2);
+        assert_eq!(q.pop().unwrap().payload, 3);
+        assert_eq!(q.pop().unwrap().payload, 5);
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Nanos(7), ());
+        q.push(Nanos(3), ());
+        assert_eq!(q.peek_time(), Some(Nanos(3)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(Nanos(7)));
+    }
+
+    #[test]
+    fn len_and_totals() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Nanos(1), ());
+        q.push(Nanos(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

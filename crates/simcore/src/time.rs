@@ -1,0 +1,270 @@
+//! Simulation time.
+//!
+//! Time is a monotonically non-decreasing count of simulated nanoseconds
+//! ([`Nanos`]); intervals are [`TimeDelta`]. Both are thin `u64` newtypes so
+//! they are free to copy and cannot be confused with byte counts or other
+//! integers in the packet-processing hot path.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An absolute simulation timestamp in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+/// A non-negative time interval in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeDelta(pub u64);
+
+impl Nanos {
+    /// Time zero (simulation start).
+    pub const ZERO: Nanos = Nanos(0);
+    /// The largest representable timestamp; used as an "infinite" horizon.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// This timestamp expressed in (fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This timestamp expressed in (fractional) milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This timestamp expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Interval from `earlier` to `self`.
+    ///
+    /// Saturates to zero if `earlier` is in the future, which keeps callers
+    /// robust against re-ordered bookkeeping (the simulation itself never
+    /// moves backwards).
+    #[inline]
+    pub fn since(self, earlier: Nanos) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl TimeDelta {
+    /// Zero-length interval.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> TimeDelta {
+        TimeDelta(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> TimeDelta {
+        TimeDelta(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> TimeDelta {
+        TimeDelta(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> TimeDelta {
+        TimeDelta(s * 1_000_000_000)
+    }
+
+    /// Interval in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Interval in fractional microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The time needed to serialize `bytes` onto a link of `bits_per_sec`,
+    /// rounded up to the next whole nanosecond so back-to-back packets never
+    /// overlap on the wire.
+    #[inline]
+    pub fn serialization(bytes: u64, bits_per_sec: u64) -> TimeDelta {
+        debug_assert!(bits_per_sec > 0, "link bandwidth must be positive");
+        let bits = bytes * 8;
+        // ceil(bits * 1e9 / bps) without overflow for realistic values:
+        // bytes <= 9000, bps <= 800e9 easily fits in u128.
+        let ns = ((bits as u128) * 1_000_000_000u128).div_ceil(bits_per_sec as u128);
+        TimeDelta(ns as u64)
+    }
+
+    /// Scale this interval by an integer factor.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> TimeDelta {
+        TimeDelta(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<TimeDelta> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<TimeDelta> for Nanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<Nanos> for Nanos {
+    type Output = TimeDelta;
+    #[inline]
+    fn sub(self, rhs: Nanos) -> TimeDelta {
+        self.since(rhs)
+    }
+}
+
+impl Add<TimeDelta> for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<TimeDelta> for TimeDelta {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl fmt::Debug for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+{}ns", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Nanos::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(Nanos::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(Nanos::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(TimeDelta::from_micros(1).as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn add_and_subtract() {
+        let t = Nanos::from_micros(10) + TimeDelta::from_micros(5);
+        assert_eq!(t.as_nanos(), 15_000);
+        assert_eq!((t - Nanos::from_micros(10)).as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = Nanos(100);
+        let late = Nanos(300);
+        assert_eq!(late.since(early).as_nanos(), 200);
+        assert_eq!(early.since(late).as_nanos(), 0);
+    }
+
+    #[test]
+    fn serialization_time_100g() {
+        // 1500B at 100 Gbps = 120 ns exactly.
+        let d = TimeDelta::serialization(1500, 100_000_000_000);
+        assert_eq!(d.as_nanos(), 120);
+    }
+
+    #[test]
+    fn serialization_time_400g() {
+        // 1500B at 400 Gbps = 30 ns exactly.
+        let d = TimeDelta::serialization(1500, 400_000_000_000);
+        assert_eq!(d.as_nanos(), 30);
+    }
+
+    #[test]
+    fn serialization_rounds_up() {
+        // 1 byte at 3 bps = 8/3 * 1e9 ns, must round up.
+        let d = TimeDelta::serialization(1, 3);
+        assert_eq!(d.as_nanos(), 2_666_666_667);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Nanos(5)), "5ns");
+        assert_eq!(format!("{}", Nanos(5_000)), "5.000us");
+        assert_eq!(format!("{}", Nanos(5_000_000)), "5.000ms");
+        assert_eq!(format!("{}", Nanos(5_000_000_000)), "5.000s");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Nanos(1) < Nanos(2));
+        assert!(TimeDelta(1) < TimeDelta(2));
+        assert_eq!(Nanos::ZERO.as_nanos(), 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Incast under tiny buffers: lossy fabric vs PFC-lossless fabric.
+//!
+//! Three hosts send 8 MB each to one receiver across the spine layer.
+//! With 256 KB switch buffers the convergence point overflows; PFC
+//! (hop-by-hop pause on shared-buffer watermarks) keeps it lossless.
+//! Themis filtering rides on top in both cases.
+//!
+//! Run with: `cargo run --release --example incast_pfc`
+
+use themis::harness::{Collective, ExperimentConfig, Scheme};
+use themis::netsim::switch::PfcConfig;
+use themis::netsim::topology::LeafSpineConfig;
+use themis::simcore::time::Nanos;
+
+fn main() {
+    println!("3-to-1 incast, 8 MB per sender, 256 KB switch buffers\n");
+    println!(
+        "{:<10} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "fabric", "ct(ms)", "drops", "retx", "rto", "pauses", "blocked"
+    );
+    for pfc in [false, true] {
+        let buffer_bytes = 256 * 1024;
+        let fabric = LeafSpineConfig {
+            buffer_bytes,
+            pfc: pfc.then(|| PfcConfig::for_buffer(buffer_bytes)),
+            ..LeafSpineConfig::motivation()
+        };
+        let cfg = ExperimentConfig {
+            nic: themis::rnic::NicConfig::nic_sr(fabric.host_link.bandwidth_bps),
+            fabric,
+            scheme: Scheme::Themis,
+            seed: 77,
+            horizon: Nanos::from_secs(5),
+        };
+        let (r, cluster) =
+            themis::harness::run_collective_on(&cfg, Collective::Incast, 8 << 20);
+        let pauses: u64 = cluster
+            .all_switches()
+            .iter()
+            .filter_map(|&s| {
+                cluster
+                    .world
+                    .get::<themis::netsim::switch::Switch>(s)
+                    .map(|sw| sw.stats.pfc_pauses)
+            })
+            .sum();
+        println!(
+            "{:<10} {:>9.3} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            if pfc { "PFC" } else { "lossy" },
+            r.tail_ct.map(|t| t.as_nanos() as f64 / 1e6).unwrap_or(f64::NAN),
+            r.fabric.drops_buffer,
+            r.nics.retx_packets,
+            r.nics.rto_fires,
+            pauses,
+            r.themis.nacks_blocked,
+        );
+    }
+    println!("\nWithout PFC the DCQCN transient overflows the tiny buffer and NIC-SR");
+    println!("repairs thousands of real losses; with PFC the fabric pauses upstream");
+    println!("instead and nothing is ever dropped.");
+}

@@ -1,0 +1,70 @@
+//! §4 memory-overhead calculator.
+//!
+//! Evaluates the paper's switch-SRAM model at the Table 1 reference
+//! point (3-layer fat-tree, k = 32, 400 Gbps last hop) and at a few
+//! what-if points, printing every intermediate quantity of Eq. 4.
+//!
+//! Run with: `cargo run --example memory_overhead`
+
+use themis::netsim::topology::FatTreeDims;
+use themis::themis_core::memory::MemoryModel;
+
+fn print_model(name: &str, m: &MemoryModel) {
+    println!("— {name} —");
+    println!("  N_paths   = {:>8}   (PathMap entries)", m.n_paths);
+    println!("  BW        = {:>8} Gbps", m.bw_bps / 1_000_000_000);
+    println!("  RTT_last  = {:>8} ns", m.rtt_last.as_nanos());
+    println!("  MTU       = {:>8} B", m.mtu);
+    println!("  F         = {:>8.2}", m.f_times_100 as f64 / 100.0);
+    println!("  N_NIC     = {:>8}   (NICs per ToR)", m.n_nic);
+    println!("  N_QP      = {:>8}   (cross-rack QPs per NIC)", m.n_qp);
+    println!("  ----------------------------------------");
+    println!("  N_entries = {:>8}   (ring PSN queue slots per QP)", m.n_entries());
+    println!("  M_PathMap = {:>8} B", m.pathmap_bytes());
+    println!("  M_QP      = {:>8} B  (20 B entry + 1 B/slot)", m.per_qp_bytes());
+    println!(
+        "  M_total   = {:>8} B  ≈ {:.0} KB",
+        m.total_bytes(),
+        m.total_bytes() as f64 / 1000.0
+    );
+    for sram_mb in [32u64, 64] {
+        println!(
+            "            = {:>7.2}%  of a {sram_mb} MB switch SRAM",
+            m.fraction_of_sram(sram_mb * 1024 * 1024) * 100.0
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let ft = FatTreeDims::new(32);
+    println!("Fat-tree k=32 (paper §4 example):");
+    println!(
+        "  {} ToRs, {} spines, {} cores, {} NICs, {} hosts/ToR, {} equal-cost paths\n",
+        ft.n_tors(),
+        ft.n_spines(),
+        ft.n_cores(),
+        ft.n_hosts(),
+        ft.hosts_per_tor(),
+        ft.max_equal_cost_paths()
+    );
+
+    let reference = MemoryModel::table1_reference();
+    print_model("Table 1 reference (paper: ≈193 KB)", &reference);
+
+    print_model(
+        "100 Gbps fabric",
+        &MemoryModel {
+            bw_bps: 100_000_000_000,
+            ..reference
+        },
+    );
+
+    print_model(
+        "Dense QPs (Alltoall-heavy, 400 QPs/NIC)",
+        &MemoryModel {
+            n_qp: 400,
+            ..reference
+        },
+    );
+}

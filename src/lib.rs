@@ -1,0 +1,30 @@
+//! # Themis — packet spraying for commodity RNICs with in-network support
+//!
+//! This is the facade crate of the Themis reproduction. It re-exports the
+//! full workspace so downstream users can depend on a single crate:
+//!
+//! * [`simcore`] — deterministic discrete-event simulation engine.
+//! * [`netsim`] — network substrate: links, switches, buffers, ECN, topologies.
+//! * [`rnic`] — commodity RNIC model: NIC-SR / Go-Back-N transports, DCQCN.
+//! * [`collectives`] — Allreduce / Alltoall / AllGather / ReduceScatter workloads.
+//! * [`themis_core`] — the paper's contribution: PSN-based spraying (Themis-S)
+//!   and NACK filtering + compensation (Themis-D).
+//! * [`themis_harness`] — experiment assembly and the figure-reproduction harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use themis::harness::{ExperimentConfig, Scheme};
+//!
+//! // A small two-rack cluster with one sprayed flow, Themis enabled.
+//! let cfg = ExperimentConfig::motivation_small(Scheme::Themis, 42);
+//! let result = themis::harness::run_point_to_point(&cfg, 1 << 20);
+//! assert!(result.all_messages_completed());
+//! ```
+
+pub use collectives;
+pub use netsim;
+pub use rnic;
+pub use simcore;
+pub use themis_core;
+pub use themis_harness as harness;

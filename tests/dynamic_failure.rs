@@ -1,0 +1,149 @@
+//! §6 failure handling *during* a run.
+//!
+//! A monitoring system (Pingmesh-style) notifies ToRs mid-transfer that a
+//! fabric link failed; they revert to ECMP and stop spraying. Later the
+//! link recovers and spraying resumes. The flow must survive the whole
+//! episode — including the transition moments, where in-flight sprayed
+//! packets meet an ECMP-forwarding fabric and vice versa.
+
+use themis::collectives::driver::{setup_collective, Driver, QpAllocator, START_TOKEN};
+use themis::collectives::schedule::{Schedule, Transfer};
+use themis::harness::{build_cluster, ExperimentConfig, Scheme};
+use themis::netsim::event::{ControlMsg, Event};
+use themis::netsim::lb::LbPolicy;
+use themis::netsim::switch::Switch;
+use themis::simcore::time::Nanos;
+use themis::themis_core::ThemisMiddleware;
+
+fn p2p(bytes: u64) -> Schedule {
+    Schedule {
+        name: "p2p",
+        n_ranks: 2,
+        transfers: vec![Transfer {
+            src: 0,
+            dst: 1,
+            bytes,
+            deps: vec![],
+        }],
+    }
+}
+
+#[test]
+fn flow_survives_mid_run_failure_and_recovery() {
+    let cfg = ExperimentConfig::motivation_small(Scheme::Themis, 47);
+    let mut cluster = build_cluster(&cfg.fabric, cfg.nic, cfg.scheme);
+    let src = cluster.hosts[0];
+    let dst = cluster.hosts[cfg.fabric.hosts_per_leaf];
+    let mut alloc = QpAllocator::new(3);
+    let mut driver = Driver::new();
+    let spec = setup_collective(
+        &mut cluster.world,
+        cluster.driver,
+        &[src, dst],
+        p2p(16 << 20), // ~1.4 ms at line rate
+        &mut alloc,
+    );
+    driver.add_instance(spec);
+    cluster.world.install(cluster.driver, Box::new(driver));
+    cluster
+        .world
+        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+
+    // Fail at 300 µs, recover at 700 µs — in the middle of the transfer.
+    let restored = Scheme::Themis.lb_policy();
+    for &leaf in &cluster.leaves.clone() {
+        cluster.world.seed_event(
+            Nanos::from_micros(300),
+            leaf,
+            Event::Control(ControlMsg::TorLinkFailure),
+        );
+        cluster.world.seed_event(
+            Nanos::from_micros(700),
+            leaf,
+            Event::Control(ControlMsg::TorLinkRecovery { lb: restored }),
+        );
+    }
+
+    cluster.world.run_until(cfg.horizon);
+
+    let d: &Driver = cluster.world.get(cluster.driver).unwrap();
+    assert!(d.all_complete(), "flow must survive the failure episode");
+
+    // Every ToR ended up restored: policy back, sprayer enabled.
+    for &leaf in &cluster.leaves {
+        let sw: &Switch = cluster.world.get(leaf).unwrap();
+        assert_eq!(sw.lb(), restored);
+        let m = sw
+            .hook()
+            .unwrap()
+            .as_any()
+            .downcast_ref::<ThemisMiddleware>()
+            .unwrap();
+        assert!(m.s.is_enabled(), "spraying resumed after recovery");
+    }
+    // The source ToR (only it sees upstream data) both sprayed (outside
+    // the failure window) and bypassed (inside it).
+    let src_tor: &Switch = cluster.world.get(cluster.leaves[0]).unwrap();
+    let m = src_tor
+        .hook()
+        .unwrap()
+        .as_any()
+        .downcast_ref::<ThemisMiddleware>()
+        .unwrap();
+    assert!(m.s.stats.sprayed > 0, "sprayed outside the failure window");
+    assert!(
+        m.s.stats.bypassed > 0,
+        "packets passed un-sprayed during the failure window"
+    );
+
+    // The episode may cost a few retransmissions at the transitions (the
+    // Eq. 3 modulus is meaningless for packets forwarded by ECMP), but
+    // recovery must not rely on timeouts more than once or twice.
+    let nics = themis::harness::experiment::aggregate_nics(&cluster);
+    assert!(
+        nics.rto_fires <= 2,
+        "transitions should not degenerate into RTO storms: {}",
+        nics.rto_fires
+    );
+}
+
+#[test]
+fn failure_only_episode_degenerates_to_clean_ecmp() {
+    // Fail before any traffic: the whole run is ECMP and perfectly clean.
+    let cfg = ExperimentConfig::motivation_small(Scheme::Themis, 47);
+    let mut cluster = build_cluster(&cfg.fabric, cfg.nic, cfg.scheme);
+    for &leaf in &cluster.leaves.clone() {
+        cluster
+            .world
+            .seed_event(Nanos::ZERO, leaf, Event::Control(ControlMsg::TorLinkFailure));
+    }
+    let src = cluster.hosts[0];
+    let dst = cluster.hosts[cfg.fabric.hosts_per_leaf];
+    let mut alloc = QpAllocator::new(3);
+    let mut driver = Driver::new();
+    let spec = setup_collective(
+        &mut cluster.world,
+        cluster.driver,
+        &[src, dst],
+        p2p(4 << 20),
+        &mut alloc,
+    );
+    driver.add_instance(spec);
+    cluster.world.install(cluster.driver, Box::new(driver));
+    cluster.world.seed_event(
+        Nanos::from_micros(1),
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
+    cluster.world.run_until(cfg.horizon);
+
+    let d: &Driver = cluster.world.get(cluster.driver).unwrap();
+    assert!(d.all_complete());
+    let nics = themis::harness::experiment::aggregate_nics(&cluster);
+    assert_eq!(nics.ooo_packets, 0, "pure ECMP is in-order");
+    assert_eq!(nics.retx_packets, 0);
+    for &leaf in &cluster.leaves {
+        let sw: &Switch = cluster.world.get(leaf).unwrap();
+        assert_eq!(sw.lb(), LbPolicy::Ecmp);
+    }
+}

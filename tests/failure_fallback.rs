@@ -1,0 +1,112 @@
+//! §6 link-failure tolerance, end to end.
+//!
+//! On failure notification a ToR reverts to ECMP and stops spraying;
+//! traffic then stays on single flow-hashed paths (no out-of-order
+//! arrivals), and recovery restores spraying.
+
+use themis::harness::{build_cluster, ExperimentConfig, Scheme};
+use themis::netsim::event::Event;
+use themis::netsim::lb::LbPolicy;
+use themis::netsim::switch::Switch;
+use themis::simcore::time::Nanos;
+use themis::themis_core::failure::{apply_failure_fallback, restore_after_repair};
+use themis::themis_core::ThemisMiddleware;
+
+use collectives::driver::{setup_collective, Driver, QpAllocator, START_TOKEN};
+use collectives::schedule::{Schedule, Transfer};
+
+fn p2p_schedule(bytes: u64) -> Schedule {
+    Schedule {
+        name: "p2p",
+        n_ranks: 2,
+        transfers: vec![Transfer {
+            src: 0,
+            dst: 1,
+            bytes,
+            deps: vec![],
+        }],
+    }
+}
+
+#[test]
+fn failed_tor_reverts_to_ecmp_and_flow_stays_in_order() {
+    let cfg = ExperimentConfig::motivation_small(Scheme::Themis, 5);
+    let mut cluster = build_cluster(&cfg.fabric, cfg.nic, cfg.scheme);
+
+    // Declare a failure on every ToR before traffic starts.
+    for &leaf in &cluster.leaves.clone() {
+        let sw = cluster.world.get_mut::<Switch>(leaf).expect("leaf");
+        assert!(apply_failure_fallback(sw));
+        assert_eq!(sw.lb(), LbPolicy::Ecmp);
+    }
+
+    let src = cluster.hosts[0];
+    let dst = cluster.hosts[cfg.fabric.hosts_per_leaf];
+    let mut alloc = QpAllocator::new(3);
+    let mut driver = Driver::new();
+    let spec = setup_collective(
+        &mut cluster.world,
+        cluster.driver,
+        &[src, dst],
+        p2p_schedule(8 << 20),
+        &mut alloc,
+    );
+    driver.add_instance(spec);
+    cluster.world.install(cluster.driver, Box::new(driver));
+    cluster
+        .world
+        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.run_until(cfg.horizon);
+
+    let driver: &Driver = cluster.world.get(cluster.driver).expect("driver");
+    assert!(driver.all_complete(), "flow completes in ECMP fallback");
+    let nics = themis::harness::experiment::aggregate_nics(&cluster);
+    assert_eq!(
+        nics.ooo_packets, 0,
+        "single ECMP path must deliver in order"
+    );
+    // Themis-S sprayed nothing.
+    let agg = cluster.themis_stats();
+    assert_eq!(agg.sprayed, 0, "spraying disabled during failure");
+}
+
+#[test]
+fn recovery_restores_spraying() {
+    let cfg = ExperimentConfig::motivation_small(Scheme::Themis, 5);
+    let mut cluster = build_cluster(&cfg.fabric, cfg.nic, cfg.scheme);
+    for &leaf in &cluster.leaves.clone() {
+        let sw = cluster.world.get_mut::<Switch>(leaf).expect("leaf");
+        apply_failure_fallback(sw);
+        assert!(restore_after_repair(sw, Scheme::Themis.lb_policy()));
+        let m = sw
+            .hook()
+            .unwrap()
+            .as_any()
+            .downcast_ref::<ThemisMiddleware>()
+            .unwrap();
+        assert!(m.s.is_enabled());
+    }
+
+    let src = cluster.hosts[0];
+    let dst = cluster.hosts[cfg.fabric.hosts_per_leaf];
+    let mut alloc = QpAllocator::new(3);
+    let mut driver = Driver::new();
+    let spec = setup_collective(
+        &mut cluster.world,
+        cluster.driver,
+        &[src, dst],
+        p2p_schedule(4 << 20),
+        &mut alloc,
+    );
+    driver.add_instance(spec);
+    cluster.world.install(cluster.driver, Box::new(driver));
+    cluster
+        .world
+        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.run_until(cfg.horizon);
+
+    let agg = cluster.themis_stats();
+    assert!(agg.sprayed > 0, "spraying active again after repair");
+    let driver: &Driver = cluster.world.get(cluster.driver).expect("driver");
+    assert!(driver.all_complete());
+}

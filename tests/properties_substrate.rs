@@ -1,0 +1,209 @@
+//! Property-based tests over the substrate crates (engine, DCQCN,
+//! bitmap, schedules, topologies, load balancing).
+
+use proptest::prelude::*;
+
+use rnic::bitmap::OooBitmap;
+use rnic::dcqcn::Dcqcn;
+use rnic::CcConfig;
+use simcore::engine::{Control, Engine};
+use simcore::rng::Xoshiro256;
+use simcore::time::Nanos;
+use themis::collectives::ring::ring_allreduce;
+use themis::collectives::schedule::Schedule;
+use themis::netsim::lb::{LbPolicy, LbState};
+use themis::netsim::packet::Packet;
+use themis::netsim::port::{EgressPort, LinkSpec};
+use themis::netsim::types::{HostId, NodeId, PortId, QpId};
+
+proptest! {
+    /// The engine delivers any multiset of timestamps in non-decreasing
+    /// order, with ties in insertion order.
+    #[test]
+    fn engine_orders_any_schedule(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut e: Engine<(u64, usize)> = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            e.schedule_at(Nanos(t), (t, i));
+        }
+        let mut seen: Vec<(u64, usize)> = Vec::new();
+        e.run_with(|_, ev| {
+            seen.push(ev.payload);
+            Control::Continue
+        });
+        prop_assert_eq!(seen.len(), times.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// DCQCN's rate stays within [min_rate, line_rate] under any
+    /// interleaving of CNPs, NACKs, timers and byte-counter events.
+    #[test]
+    fn dcqcn_rate_always_bounded(ops in prop::collection::vec(0u8..5, 1..300), seed in 0u64..100) {
+        const LINE: u64 = 100_000_000_000;
+        let cfg = CcConfig::recommended(LINE);
+        let mut d = Dcqcn::new(cfg, LINE);
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut now = 0u64;
+        for op in ops {
+            now += rng.next_below(20_000);
+            match op {
+                0 => {
+                    d.on_cnp(Nanos(now));
+                }
+                1 => {
+                    d.on_nack(Nanos(now));
+                }
+                2 => d.on_increase_timer(),
+                3 => d.on_alpha_timer(),
+                _ => d.on_bytes_sent(rng.next_below(1 << 22)),
+            }
+            prop_assert!(
+                d.rate_bps() >= cfg.min_rate_bps - 1.0 && d.rate_bps() <= LINE as f64 + 1.0,
+                "rate {} out of bounds",
+                d.rate_bps()
+            );
+            prop_assert!((0.0..=1.0).contains(&d.alpha()));
+        }
+    }
+
+    /// The OOO bitmap advances exactly like a BTreeSet reference model
+    /// for any permutation with duplicates.
+    #[test]
+    fn bitmap_matches_set_reference(
+        n in 1usize..150,
+        seed in 0u64..500,
+        dups in 0usize..20,
+    ) {
+        let mut order: Vec<u64> = (0..n as u64).collect();
+        let mut rng = Xoshiro256::seeded(seed);
+        rng.shuffle(&mut order);
+        let mut stream = order.clone();
+        for _ in 0..dups {
+            stream.push(order[rng.next_index(order.len())]);
+        }
+
+        let mut bitmap = OooBitmap::new();
+        let mut epsn = 0u64;
+        let mut reference: std::collections::BTreeSet<u64> = Default::default();
+        let mut ref_epsn = 0u64;
+        for &psn in &stream {
+            // Reference model.
+            reference.insert(psn);
+            while reference.contains(&ref_epsn) {
+                ref_epsn += 1;
+            }
+            // Model under test (mirrors the receiver's use).
+            match psn.cmp(&epsn) {
+                std::cmp::Ordering::Equal => epsn += bitmap.advance(),
+                std::cmp::Ordering::Greater => {
+                    bitmap.set(psn - epsn);
+                }
+                std::cmp::Ordering::Less => {}
+            }
+            prop_assert_eq!(epsn, ref_epsn, "after psn {}", psn);
+        }
+        prop_assert_eq!(epsn, n as u64, "everything eventually delivered");
+    }
+
+    /// Ring allreduce schedules are well-formed for any rank count and
+    /// buffer size: validated DAG, correct transfer count, uniform
+    /// per-rank send volume, and depth 2(N-1)-1.
+    #[test]
+    fn ring_allreduce_well_formed(n in 2usize..40, total in 1u64..(1 << 30)) {
+        let s = ring_allreduce(n, total);
+        prop_assert_eq!(s.transfers.len(), 2 * (n - 1) * n);
+        let depth = s.validate();
+        prop_assert_eq!(depth, 2 * (n - 1) - 1);
+        let v0 = s.bytes_sent_by(0);
+        for r in 1..n {
+            prop_assert_eq!(s.bytes_sent_by(r), v0);
+        }
+    }
+
+    /// Any schedule's dependencies are topologically executable: playing
+    /// transfers in dependency order delivers them all (no orphan deps).
+    #[test]
+    fn schedules_are_executable(n in 2usize..16, total in 1u64..(1 << 20), kind in 0u8..4) {
+        let s: Schedule = match kind {
+            0 => ring_allreduce(n, total),
+            1 => themis::collectives::alltoall::alltoall(n, total),
+            2 => themis::collectives::ring::ring_allgather(n, total),
+            _ => themis::collectives::alltoall::incast(n, total),
+        };
+        let m = s.transfers.len();
+        let mut delivered = vec![false; m];
+        let mut progress = true;
+        let mut remaining = m;
+        while progress {
+            progress = false;
+            for i in 0..m {
+                if !delivered[i] && s.transfers[i].deps.iter().all(|&d| delivered[d]) {
+                    delivered[i] = true;
+                    remaining -= 1;
+                    progress = true;
+                }
+            }
+        }
+        prop_assert_eq!(remaining, 0, "schedule deadlocked");
+    }
+
+    /// Every LB policy returns an in-range uplink for arbitrary packets.
+    #[test]
+    fn lb_policies_stay_in_range(
+        n_uplinks in 1usize..32,
+        sport in 0u16..u16::MAX,
+        psn in 0u32..(1 << 24),
+        policy_id in 0u8..5,
+        now_us in 0u64..10_000,
+    ) {
+        let ports: Vec<EgressPort> = (0..n_uplinks)
+            .map(|i| EgressPort::new(NodeId(i as u32), PortId(0), LinkSpec::gbps(100, 1)))
+            .collect();
+        let uplinks: Vec<usize> = (0..n_uplinks).collect();
+        let policy = match policy_id {
+            0 => LbPolicy::Ecmp,
+            1 => LbPolicy::RandomSpray,
+            2 => LbPolicy::AdaptiveRouting,
+            3 => LbPolicy::RoundRobin,
+            _ => LbPolicy::Flowlet {
+                gap: simcore::time::TimeDelta::from_micros(50),
+            },
+        };
+        let mut st = LbState::new(7, 0);
+        let pkt = Packet::data(QpId(1), HostId(0), HostId(9), sport, psn, 0, false, 1000, false);
+        let pick = policy.select(&pkt, &uplinks, &ports, Nanos::from_micros(now_us), &mut st);
+        prop_assert!(pick < n_uplinks);
+    }
+
+    /// Two-tier PathMaps preserve the bijection for every legal
+    /// (bits1, shift2, bits2) combination.
+    #[test]
+    fn two_tier_pathmap_bijective(
+        bits1 in 1u32..4,
+        bits2 in 1u32..4,
+        sport in 0u16..u16::MAX,
+        src in 0u32..1000,
+        dst in 0u32..1000,
+    ) {
+        use themis::netsim::hash::{ecmp_hash, FiveTuple};
+        use themis::themis_core::pathmap::PathMap;
+        let shift2 = 8;
+        let pm = PathMap::build_two_tier(bits1, shift2, bits2);
+        let n = 1usize << (bits1 + bits2);
+        let t = FiveTuple { src, dst, sport, dport: 4791, proto: 17 };
+        let mut seen = std::collections::HashSet::new();
+        for d in 0..n {
+            let mut t2 = t;
+            t2.sport = pm.rewrite(sport, d);
+            let h = ecmp_hash(&t2);
+            let stage1 = h & ((1 << bits1) - 1);
+            let stage2 = (h >> shift2) & ((1 << bits2) - 1);
+            seen.insert((stage1, stage2));
+        }
+        prop_assert_eq!(seen.len(), n, "deltas must reach distinct composite paths");
+    }
+}
