@@ -24,9 +24,7 @@ use netsim::switch::Switch;
 use themis_core::config::ThemisConfig;
 use themis_core::ThemisMiddleware;
 use themis_harness::report::{fmt_ms, Table};
-use themis_harness::{
-    run_collective, Collective, ExperimentConfig, Scheme,
-};
+use themis_harness::{run_collective, Collective, ExperimentConfig, Scheme};
 
 fn main() {
     let bytes = themis_bench::bench_bytes();
@@ -36,7 +34,11 @@ fn main() {
         "Ablation 1: NACK filtering (ring collective, motivation fabric)",
         &["scheme", "ct(ms)", "retx", "nacks@sender"],
     );
-    for scheme in [Scheme::SprayNoFilter, Scheme::ThemisNoCompensation, Scheme::Themis] {
+    for scheme in [
+        Scheme::SprayNoFilter,
+        Scheme::ThemisNoCompensation,
+        Scheme::Themis,
+    ] {
         let cfg = ExperimentConfig::motivation_small(scheme, 9);
         let r = run_collective(&cfg, Collective::RingOnce, bytes * 2);
         t1.row(&[
@@ -108,9 +110,8 @@ fn main() {
         let mut cluster = themis_harness::build_cluster(&cfg.fabric, cfg.nic, cfg.scheme);
         // Re-install middleware with the modified factor on every ToR.
         let line = cfg.fabric.host_link.bandwidth_bps;
-        let rtt = simcore::time::TimeDelta::from_nanos(
-            2 * cfg.fabric.host_link.latency.as_nanos() + 250,
-        );
+        let rtt =
+            simcore::time::TimeDelta::from_nanos(2 * cfg.fabric.host_link.latency.as_nanos() + 250);
         let capacity = themis_core::psn_queue::PsnQueue::capacity_for(line, rtt, 1500, f);
         let tc = ThemisConfig {
             queue_capacity: capacity.clamp(1, 127),
@@ -137,9 +138,21 @@ fn main() {
         &["configuration", "ct(ms)", "retx", "nacks@sender"],
     );
     for (label, scheme, transport) in [
-        ("GBN + spray", Scheme::SprayNoFilter, rnic::TransportMode::GoBackN),
-        ("NIC-SR + spray", Scheme::SprayNoFilter, rnic::TransportMode::SelectiveRepeat),
-        ("NIC-SR + Themis", Scheme::Themis, rnic::TransportMode::SelectiveRepeat),
+        (
+            "GBN + spray",
+            Scheme::SprayNoFilter,
+            rnic::TransportMode::GoBackN,
+        ),
+        (
+            "NIC-SR + spray",
+            Scheme::SprayNoFilter,
+            rnic::TransportMode::SelectiveRepeat,
+        ),
+        (
+            "NIC-SR + Themis",
+            Scheme::Themis,
+            rnic::TransportMode::SelectiveRepeat,
+        ),
     ] {
         let mut cfg = ExperimentConfig::motivation_small(scheme, 33);
         cfg.nic = rnic::NicConfig {
@@ -189,7 +202,12 @@ ring: bidirectional contention)",
     );
     for (label, collective, scheme, buffer) in [
         ("incast", Collective::Incast, Scheme::Themis, 256 * 1024u64),
-        ("ring", Collective::RingOnce, Scheme::SprayNoFilter, 64 << 20),
+        (
+            "ring",
+            Collective::RingOnce,
+            Scheme::SprayNoFilter,
+            64 << 20,
+        ),
     ] {
         for ctrl_priority in [false, true] {
             let fabric = netsim::topology::LeafSpineConfig {
@@ -252,7 +270,13 @@ fn run_p2p_probe(
     };
     let mut alloc = QpAllocator::new(cfg.seed);
     let mut driver = Driver::new();
-    let spec = setup_collective(&mut cluster.world, cluster.driver, &[src, dst], schedule, &mut alloc);
+    let spec = setup_collective(
+        &mut cluster.world,
+        cluster.driver,
+        &[src, dst],
+        schedule,
+        &mut alloc,
+    );
     driver.add_instance(spec);
     cluster.world.install(cluster.driver, Box::new(driver));
     cluster.world.seed_event(

@@ -12,13 +12,8 @@ use themis_harness::report::render_series;
 
 fn main() {
     let per_flow = themis_bench::bench_bytes().max(8 << 20) * 4;
-    println!(
-        "Figure 1 — motivation: random spraying + NIC-SR on the 8-host fabric"
-    );
-    println!(
-        "per-flow message = {} MB (paper: 100 MB)\n",
-        per_flow >> 20
-    );
+    println!("Figure 1 — motivation: random spraying + NIC-SR on the 8-host fabric");
+    println!("per-flow message = {} MB (paper: 100 MB)\n", per_flow >> 20);
 
     let sr = run_fig1(
         Fig1Transport::NicSr,
@@ -34,21 +29,41 @@ fn main() {
     );
     assert!(sr.completed && ideal.completed, "flows must complete");
 
-    println!("{}", render_series("Fig 1b: retransmission ratio over time (chosen flow)", &sr.retx_ratio_series, 24));
+    println!(
+        "{}",
+        render_series(
+            "Fig 1b: retransmission ratio over time (chosen flow)",
+            &sr.retx_ratio_series,
+            24
+        )
+    );
     println!(
         "  average spurious-retransmission ratio (all flows): {:.3}   [paper ~0.16]\n",
         sr.avg_retx_ratio
     );
 
-    println!("{}", render_series("Fig 1c: sending rate over time, Gbps (chosen flow)", &sr.rate_series, 24));
+    println!(
+        "{}",
+        render_series(
+            "Fig 1c: sending rate over time, Gbps (chosen flow)",
+            &sr.rate_series,
+            24
+        )
+    );
     println!(
         "  average sending rate: {:.1} Gbps of 100 Gbps line rate   [paper ~86]\n",
         sr.avg_rate_gbps
     );
 
     println!("Fig 1d: average per-flow throughput");
-    println!("  NIC-SR : {:>6.2} Gbps   [paper 68.09]", sr.mean_flow_throughput_gbps);
-    println!("  Ideal  : {:>6.2} Gbps   [paper 95.43]", ideal.mean_flow_throughput_gbps);
+    println!(
+        "  NIC-SR : {:>6.2} Gbps   [paper 68.09]",
+        sr.mean_flow_throughput_gbps
+    );
+    println!(
+        "  Ideal  : {:>6.2} Gbps   [paper 95.43]",
+        ideal.mean_flow_throughput_gbps
+    );
     println!(
         "  ratio  : {:>6.2}        [paper 0.71]",
         sr.mean_flow_throughput_gbps / ideal.mean_flow_throughput_gbps

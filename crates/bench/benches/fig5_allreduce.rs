@@ -12,7 +12,10 @@ use themis_harness::{Collective, Scheme};
 fn main() {
     let bytes = themis_bench::bench_bytes();
     println!("Figure 5a — Allreduce tail completion time");
-    println!("16x16 leaf-spine @400 Gbps, 16 groups x 16 NICs; {}\n", themis_bench::scale_banner());
+    println!(
+        "16x16 leaf-spine @400 Gbps, 16 groups x 16 NICs; {}\n",
+        themis_bench::scale_banner()
+    );
 
     let cfg = Fig5Config::paper(Collective::Allreduce, bytes, 1);
     let points = run_fig5(&cfg);

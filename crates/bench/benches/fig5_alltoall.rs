@@ -10,7 +10,10 @@ use themis_harness::{Collective, Scheme};
 fn main() {
     let bytes = themis_bench::bench_bytes();
     println!("Figure 5b — Alltoall tail completion time");
-    println!("16x16 leaf-spine @400 Gbps, 16 groups x 16 NICs; {}\n", themis_bench::scale_banner());
+    println!(
+        "16x16 leaf-spine @400 Gbps, 16 groups x 16 NICs; {}\n",
+        themis_bench::scale_banner()
+    );
 
     let cfg = Fig5Config::paper(Collective::Alltoall, bytes, 1);
     let points = run_fig5(&cfg);

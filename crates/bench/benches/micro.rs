@@ -1,38 +1,37 @@
-//! Criterion micro-benchmarks of the hot paths.
+//! Micro-benchmarks of the hot paths.
 //!
 //! These quantify the per-packet costs a Tofino pipeline (or this
 //! simulator) pays for Themis: ring-queue push/scan, Eq. 3 validation,
 //! PathMap construction, the GF(2)-linear hash, and the raw event-engine
 //! throughput that bounds simulation speed.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use netsim::hash::{ecmp_hash, FiveTuple};
 use netsim::types::HostId;
 use simcore::engine::{Control, Engine};
 use simcore::time::{Nanos, TimeDelta};
+use themis_bench::harness::Bench;
 use themis_core::pathmap::PathMap;
 use themis_core::policy::nack_valid;
 use themis_core::psn_queue::PsnQueue;
 
-fn bench_event_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_engine");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("schedule_dispatch_100k", |b| {
-        b.iter(|| {
-            let mut e: Engine<u64> = Engine::new();
-            for i in 0..100_000u64 {
-                e.schedule_at(Nanos(i), i);
-            }
-            let mut sum = 0u64;
-            e.run_with(|_, ev| {
-                sum = sum.wrapping_add(ev.payload);
-                Control::Continue
-            });
-            sum
+fn bench_event_engine(b: &mut Bench) {
+    b.run("event_engine/schedule_dispatch_100k", "events", || {
+        let mut e: Engine<u64> = Engine::new();
+        for i in 0..100_000u64 {
+            e.schedule_at(Nanos(i), i);
+        }
+        let mut sum = 0u64;
+        e.run_with(|_, ev| {
+            sum = sum.wrapping_add(ev.payload);
+            Control::Continue
         });
+        std::hint::black_box(sum);
+        100_000
     });
-    g.bench_function("self_rescheduling_timer_100k", |b| {
-        b.iter(|| {
+    b.run(
+        "event_engine/self_rescheduling_timer_100k",
+        "events",
+        || {
             let mut e: Engine<u64> = Engine::new();
             e.schedule_at(Nanos(0), 0);
             e.run_with(|eng, ev| {
@@ -40,102 +39,112 @@ fn bench_event_engine(c: &mut Criterion) {
                     eng.schedule_in(TimeDelta(5), ev.payload + 1);
                 }
                 Control::Continue
-            })
-        });
-    });
-    g.finish();
+            });
+            e.dispatched()
+        },
+    );
 }
 
-fn bench_psn_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("psn_queue");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("push", |b| {
+fn bench_psn_queue(b: &mut Bench) {
+    b.run("psn_queue/push_100k", "ops", || {
         let mut q = PsnQueue::with_capacity(100);
         let mut psn = 0u32;
-        b.iter(|| {
+        for _ in 0..100_000 {
             q.push(psn);
             psn = psn.wrapping_add(1) & 0xFF_FFFF;
-        });
+        }
+        std::hint::black_box(&q);
+        100_000
     });
-    g.bench_function("scan_hit_depth_50", |b| {
-        b.iter_batched(
-            || {
-                let mut q = PsnQueue::with_capacity(100);
-                for psn in 0..100u32 {
-                    q.push(psn);
-                }
-                q
-            },
-            |mut q| q.scan_for_tpsn(49),
-            BatchSize::SmallInput,
-        );
+    b.run("psn_queue/scan_hit_depth_50_x10k", "scans", || {
+        let mut hits = 0u64;
+        for _ in 0..10_000 {
+            let mut q = PsnQueue::with_capacity(100);
+            for psn in 0..100u32 {
+                q.push(psn);
+            }
+            if q.scan_for_tpsn(49).tpsn.is_some() {
+                hits += 1;
+            }
+        }
+        hits
     });
-    g.bench_function("contains_miss_100", |b| {
+    b.run("psn_queue/contains_miss_100_x100k", "probes", || {
         let mut q = PsnQueue::with_capacity(100);
         for psn in 0..100u32 {
             q.push(psn);
         }
-        b.iter(|| q.contains(200));
+        let mut found = 0u64;
+        for _ in 0..100_000 {
+            if std::hint::black_box(&q).contains(200) {
+                found += 1;
+            }
+        }
+        100_000 + found
     });
-    g.finish();
 }
 
-fn bench_policy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("policy");
-    g.bench_function("eq3_validation", |b| {
+fn bench_policy(b: &mut Bench) {
+    b.run("policy/eq3_validation_x1m", "checks", || {
         let mut psn = 0u32;
-        b.iter(|| {
+        let mut valid = 0u64;
+        for _ in 0..1_000_000 {
             psn = psn.wrapping_add(7) & 0xFF_FFFF;
-            nack_valid(psn, psn.wrapping_add(3) & 0xFF_FFFF, 16)
-        });
+            if nack_valid(psn, psn.wrapping_add(3) & 0xFF_FFFF, 16) {
+                valid += 1;
+            }
+        }
+        std::hint::black_box(valid);
+        1_000_000
     });
-    g.bench_function("ecmp_hash", |b| {
+    b.run("policy/ecmp_hash_x1m", "hashes", || {
         let mut sport = 0u16;
-        b.iter(|| {
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
             sport = sport.wrapping_add(1);
-            ecmp_hash(&FiveTuple::new(HostId(3), HostId(250), sport))
-        });
+            acc =
+                acc.wrapping_add(ecmp_hash(&FiveTuple::new(HostId(3), HostId(250), sport)) as u64);
+        }
+        std::hint::black_box(acc);
+        1_000_000
     });
-    g.finish();
 }
 
-fn bench_pathmap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pathmap");
+fn bench_pathmap(b: &mut Bench) {
     for n in [16usize, 256] {
-        g.bench_function(format!("build_n{n}"), |b| {
-            b.iter(|| PathMap::build(n));
+        b.run(&format!("pathmap/build_n{n}_x100"), "builds", || {
+            for _ in 0..100 {
+                std::hint::black_box(PathMap::build(n));
+            }
+            100
         });
     }
-    g.bench_function("rewrite", |b| {
+    b.run("pathmap/rewrite_x1m", "rewrites", || {
         let pm = PathMap::build(256);
         let mut d = 0usize;
-        b.iter(|| {
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
             d = (d + 1) % 256;
-            pm.rewrite(4242, d)
-        });
+            acc = acc.wrapping_add(pm.rewrite(4242, d) as u64);
+        }
+        std::hint::black_box(acc);
+        1_000_000
     });
-    g.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end(b: &mut Bench) {
     use themis_harness::{run_point_to_point, ExperimentConfig, Scheme};
-    let mut g = c.benchmark_group("simulation");
-    g.sample_size(10);
-    g.bench_function("p2p_1mb_themis", |b| {
-        b.iter(|| {
-            let cfg = ExperimentConfig::motivation_small(Scheme::Themis, 3);
-            run_point_to_point(&cfg, 1 << 20)
-        });
+    b.run("simulation/p2p_1mb_themis", "events", || {
+        let cfg = ExperimentConfig::motivation_small(Scheme::Themis, 3);
+        run_point_to_point(&cfg, 1 << 20).events
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_engine,
-    bench_psn_queue,
-    bench_policy,
-    bench_pathmap,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new(1.0);
+    bench_event_engine(&mut b);
+    bench_psn_queue(&mut b);
+    bench_policy(&mut b);
+    bench_pathmap(&mut b);
+    bench_end_to_end(&mut b);
+}

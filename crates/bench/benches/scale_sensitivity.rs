@@ -26,7 +26,11 @@ fn main() {
             let cfg = ExperimentConfig::paper_eval(scheme, 900, 4, 1);
             run_collective(&cfg, Collective::Allreduce, mb << 20).tail_ct
         };
-        let (e, a, t) = (ct(Scheme::Ecmp), ct(Scheme::AdaptiveRouting), ct(Scheme::Themis));
+        let (e, a, t) = (
+            ct(Scheme::Ecmp),
+            ct(Scheme::AdaptiveRouting),
+            ct(Scheme::Themis),
+        );
         let vs = match (t, a) {
             (Some(t), Some(a)) => format!("{:+.1}%", improvement_pct(t, a)),
             _ => "-".into(),

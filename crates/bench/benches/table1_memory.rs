@@ -13,13 +13,13 @@ fn main() {
     println!("Table 1 / §4 — Themis memory overhead\n");
 
     let m = MemoryModel::table1_reference();
-    let mut t = Table::new(
-        "Symbols (Table 1 reference values)",
-        &["symbol", "value"],
-    );
+    let mut t = Table::new("Symbols (Table 1 reference values)", &["symbol", "value"]);
     t.row(&["N_paths".into(), m.n_paths.to_string()]);
     t.row(&["BW".into(), format!("{} Gbps", m.bw_bps / 1_000_000_000)]);
-    t.row(&["RTT_last".into(), format!("{} us", m.rtt_last.as_micros_f64())]);
+    t.row(&[
+        "RTT_last".into(),
+        format!("{} us", m.rtt_last.as_micros_f64()),
+    ]);
     t.row(&["N_NIC".into(), m.n_nic.to_string()]);
     t.row(&["N_QP".into(), m.n_qp.to_string()]);
     t.row(&["MTU".into(), format!("{} B", m.mtu)]);

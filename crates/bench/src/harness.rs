@@ -1,0 +1,203 @@
+//! A hermetic, dependency-free micro/macro benchmark harness.
+//!
+//! Replaces criterion: this repo must build and run with no network
+//! access, so the harness is ~150 lines of `std::time::Instant` timing.
+//! It is deliberately simple — fixed warm-up, a target measurement
+//! budget, median-of-samples reporting — because the quantity tracked
+//! across PRs is *throughput of the simulation substrate* (events/sec,
+//! packets/sec), where run-to-run noise is small compared to the ≥20%
+//! regressions the CI gate cares about.
+//!
+//! Results can be serialised to a minimal JSON document
+//! ([`write_json`]) so `scripts/ci.sh` can diff against the committed
+//! `BENCH_substrate.json`.
+
+use std::time::Instant;
+
+/// One benchmark's result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name (stable identifier across PRs).
+    pub name: String,
+    /// Samples taken (each sample is one closure invocation).
+    pub samples: u32,
+    /// Median wall time per invocation, in seconds.
+    pub secs_per_iter: f64,
+    /// Work units (events, packets, cells...) processed per invocation.
+    pub units: u64,
+    /// What a unit is, e.g. `"events"`.
+    pub unit_label: &'static str,
+}
+
+impl Measurement {
+    /// Units processed per wall-clock second.
+    pub fn units_per_sec(&self) -> f64 {
+        if self.secs_per_iter <= 0.0 {
+            0.0
+        } else {
+            self.units as f64 / self.secs_per_iter
+        }
+    }
+
+    /// One human-readable report line.
+    pub fn report_line(&self) -> String {
+        format!(
+            "{:<40} {:>10.3} ms/iter   {:>12.0} {}/s",
+            self.name,
+            self.secs_per_iter * 1e3,
+            self.units_per_sec(),
+            self.unit_label
+        )
+    }
+}
+
+/// Benchmark runner with a wall-clock budget per benchmark.
+pub struct Bench {
+    /// Seconds to spend measuring each benchmark (after 1 warm-up run).
+    pub budget_secs: f64,
+    /// Max samples per benchmark regardless of budget.
+    pub max_samples: u32,
+    results: Vec<Measurement>,
+}
+
+impl Bench {
+    /// A harness with the given measurement budget per benchmark.
+    pub fn new(budget_secs: f64) -> Bench {
+        Bench {
+            budget_secs,
+            max_samples: 50,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f` repeatedly; `f` returns the number of work units it
+    /// processed (a `u64` the optimiser cannot discard). Records and
+    /// prints the measurement.
+    pub fn run(
+        &mut self,
+        name: &str,
+        unit_label: &'static str,
+        mut f: impl FnMut() -> u64,
+    ) -> &Measurement {
+        let units = f(); // warm-up; also establishes the unit count
+        let mut times = Vec::new();
+        let started = Instant::now();
+        while started.elapsed().as_secs_f64() < self.budget_secs
+            && (times.len() as u32) < self.max_samples
+        {
+            let t0 = Instant::now();
+            let got = f();
+            times.push(t0.elapsed().as_secs_f64());
+            assert_eq!(got, units, "benchmark '{name}' must be deterministic");
+        }
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        let m = Measurement {
+            name: name.to_string(),
+            samples: times.len() as u32,
+            secs_per_iter: median,
+            units,
+            unit_label,
+        };
+        println!("{}", m.report_line());
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A flat JSON value for [`write_json`].
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// A finite float, emitted with enough precision to round-trip.
+    Num(f64),
+    /// An unsigned integer.
+    Int(u64),
+    /// A string (escaped minimally; benchmark names are ASCII).
+    Str(String),
+}
+
+/// Serialise `fields` as a single flat JSON object, sorted as given.
+pub fn to_json(fields: &[(String, JsonValue)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        let sep = if i + 1 == fields.len() { "" } else { "," };
+        let val = match v {
+            JsonValue::Num(x) => format!("{x:.3}"),
+            JsonValue::Int(x) => format!("{x}"),
+            JsonValue::Str(s) => format!("\"{}\"", s.replace('"', "\\\"")),
+        };
+        out.push_str(&format!("  \"{k}\": {val}{sep}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Write `fields` to `path` as JSON.
+pub fn write_json(path: &str, fields: &[(String, JsonValue)]) -> std::io::Result<()> {
+    std::fs::write(path, to_json(fields))
+}
+
+/// Read one numeric field back out of a flat JSON file written by
+/// [`write_json`] (the CI regression gate's parser).
+pub fn read_json_field(path: &str, key: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let needle = format!("\"{key}\":");
+        if let Some(rest) = line.strip_prefix(&needle) {
+            return rest.trim().parse::<f64>().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_math() {
+        let m = Measurement {
+            name: "x".into(),
+            samples: 3,
+            secs_per_iter: 0.5,
+            units: 1000,
+            unit_label: "events",
+        };
+        assert!((m.units_per_sec() - 2000.0).abs() < 1e-9);
+        assert!(m.report_line().contains("events/s"));
+    }
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut b = Bench::new(0.01);
+        let m = b.run("noop", "units", || 42);
+        assert_eq!(m.units, 42);
+        assert!(m.samples >= 1);
+        assert_eq!(b.results().len(), 1);
+    }
+
+    #[test]
+    fn json_round_trips_a_field() {
+        let path = std::env::temp_dir().join("themis_bench_json_test.json");
+        let path = path.to_str().unwrap().to_string();
+        write_json(
+            &path,
+            &[
+                ("events_per_sec".to_string(), JsonValue::Num(123456.789)),
+                ("cpus".to_string(), JsonValue::Int(4)),
+                ("note".to_string(), JsonValue::Str("hi \"there\"".into())),
+            ],
+        )
+        .unwrap();
+        assert_eq!(read_json_field(&path, "events_per_sec"), Some(123456.789));
+        assert_eq!(read_json_field(&path, "cpus"), Some(4.0));
+        assert_eq!(read_json_field(&path, "missing"), None);
+        std::fs::remove_file(&path).ok();
+    }
+}

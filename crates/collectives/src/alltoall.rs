@@ -39,7 +39,10 @@ pub fn alltoall(n: usize, total_bytes: u64) -> Schedule {
 /// previous one; used as a less bursty ablation of [`alltoall`].
 /// Requires `n` to be a power of two.
 pub fn alltoall_rounds(n: usize, total_bytes: u64) -> Schedule {
-    assert!(n >= 2 && n.is_power_of_two(), "pairwise exchange needs 2^k ranks");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "pairwise exchange needs 2^k ranks"
+    );
     let chunk = (total_bytes / n as u64).max(1);
     let mut transfers = Vec::with_capacity(n * (n - 1));
     for round in 1..n {

@@ -464,7 +464,11 @@ mod tests {
         let mut driver = Driver::new();
         driver.add_instance(spec);
         world.install(driver_node, Box::new(driver));
-        world.seed_event(Nanos::ZERO, driver_node, Event::Timer { token: START_TOKEN });
+        world.seed_event(
+            Nanos::ZERO,
+            driver_node,
+            Event::Timer { token: START_TOKEN },
+        );
         world.run_until(Nanos::from_millis(100));
         let d: &Driver = world.get(driver_node).unwrap();
         assert!(d.all_complete());
@@ -492,7 +496,11 @@ mod tests {
         let mut driver = Driver::new();
         driver.add_instance(spec);
         world.install(driver_node, Box::new(driver));
-        world.seed_event(Nanos::ZERO, driver_node, Event::Timer { token: START_TOKEN });
+        world.seed_event(
+            Nanos::ZERO,
+            driver_node,
+            Event::Timer { token: START_TOKEN },
+        );
         world.run_until(Nanos::from_millis(100));
         let d: &Driver = world.get(driver_node).unwrap();
         assert!(d.all_complete());
@@ -517,8 +525,7 @@ mod tests {
             &mut alloc,
         );
         assert_eq!(alloc.allocated(), 2);
-        let unique: std::collections::HashSet<QpId> =
-            spec.qp_of_transfer.iter().copied().collect();
+        let unique: std::collections::HashSet<QpId> = spec.qp_of_transfer.iter().copied().collect();
         assert_eq!(unique.len(), 2);
     }
 
@@ -560,7 +567,11 @@ mod tests {
         let mut driver = Driver::new();
         driver.add_instance(spec);
         world.install(driver_node, Box::new(driver));
-        world.seed_event(Nanos::ZERO, driver_node, Event::Timer { token: START_TOKEN });
+        world.seed_event(
+            Nanos::ZERO,
+            driver_node,
+            Event::Timer { token: START_TOKEN },
+        );
         world.run_until(Nanos::from_millis(100));
         let d: &Driver = world.get(driver_node).unwrap();
         assert!(d.all_complete(), "striped allreduce completes");
@@ -605,7 +616,11 @@ mod tests {
         let mut driver = Driver::new();
         driver.add_instance(spec);
         world.install(driver_node, Box::new(driver));
-        world.seed_event(Nanos::ZERO, driver_node, Event::Timer { token: START_TOKEN });
+        world.seed_event(
+            Nanos::ZERO,
+            driver_node,
+            Event::Timer { token: START_TOKEN },
+        );
         world.run_until(Nanos::from_millis(100));
         let d: &Driver = world.get(driver_node).unwrap();
         let h = d.latency_histogram();
@@ -618,7 +633,10 @@ mod tests {
     #[test]
     fn tail_completion_none_until_all_done() {
         let mut d = Driver::new();
-        assert!(d.tail_completion().is_some(), "vacuously complete when empty");
+        assert!(
+            d.tail_completion().is_some(),
+            "vacuously complete when empty"
+        );
         let spec = InstanceSpec {
             hosts: vec![HostId(0), HostId(1)],
             schedule: ring_once(2, 100),

@@ -134,7 +134,10 @@ mod tests {
         assert_eq!(s.transfers.len(), expected);
         // Depth: phases chain sequentially.
         let depth = s.validate();
-        assert_eq!(depth, (locals - 2) + 1 + (2 * (groups - 1) - 1) + 1 + (locals - 2));
+        assert_eq!(
+            depth,
+            (locals - 2) + 1 + (2 * (groups - 1) - 1) + 1 + (locals - 2)
+        );
     }
 
     #[test]

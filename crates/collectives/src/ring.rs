@@ -109,12 +109,12 @@ mod tests {
         let n = 8u64;
         let total = 80_000u64;
         let s = ring_allreduce(n as usize, total);
-        assert_eq!(s.total_wire_bytes(), 2 * (n - 1) * n * (total / n) / n * n / n * n);
-        // Plainly: n ranks × 2(n−1) chunks of total/n.
         assert_eq!(
             s.total_wire_bytes(),
-            n * 2 * (n - 1) * (total / n)
+            2 * (n - 1) * n * (total / n) / n * n / n * n
         );
+        // Plainly: n ranks × 2(n−1) chunks of total/n.
+        assert_eq!(s.total_wire_bytes(), n * 2 * (n - 1) * (total / n));
     }
 
     #[test]
@@ -135,10 +135,7 @@ mod tests {
         let rs = ring_reduce_scatter(n, 1 << 20);
         let ag = ring_allgather(n, 1 << 20);
         let ar = ring_allreduce(n, 1 << 20);
-        assert_eq!(
-            rs.transfers.len() + ag.transfers.len(),
-            ar.transfers.len()
-        );
+        assert_eq!(rs.transfers.len() + ag.transfers.len(), ar.transfers.len());
         rs.validate();
         ag.validate();
     }

@@ -83,12 +83,7 @@ mod tests {
 
     #[test]
     fn fabric_sizing_uses_paper_rule() {
-        let c = ThemisConfig::for_fabric(
-            256,
-            400_000_000_000,
-            TimeDelta::from_micros(2),
-            1500,
-        );
+        let c = ThemisConfig::for_fabric(256, 400_000_000_000, TimeDelta::from_micros(2), 1500);
         assert_eq!(c.queue_capacity, 100);
         assert!(c.compensation && c.filtering);
         assert_eq!(c.spray_mode, SprayMode::DirectEgress);

@@ -12,7 +12,7 @@
 
 use crate::psn_queue::PsnQueue;
 use netsim::types::QpId;
-use std::collections::HashMap;
+use simcore::fx::FxHashMap;
 
 /// §4: fixed bytes per flow-table entry (excluding the PSN queue).
 pub const ENTRY_OVERHEAD_BYTES: usize = 13 + 3 + 1 + 3;
@@ -106,7 +106,7 @@ impl FlowEntry {
 /// All per-QP state of one Themis-D instance.
 #[derive(Debug)]
 pub struct FlowTable {
-    entries: HashMap<QpId, FlowEntry>,
+    entries: FxHashMap<QpId, FlowEntry>,
     queue_capacity: usize,
     /// Entries created lazily on first data packet (no handshake seen).
     pub lazy_creations: u64,
@@ -118,7 +118,7 @@ impl FlowTable {
     /// A table whose PSN queues hold `queue_capacity` entries each.
     pub fn new(queue_capacity: usize) -> FlowTable {
         FlowTable {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             queue_capacity,
             lazy_creations: 0,
             handshake_creations: 0,
@@ -127,19 +127,23 @@ impl FlowTable {
 
     /// Provision a QP at connection setup (handshake interception, §3.3).
     pub fn provision(&mut self, qp: QpId) {
-        if !self.entries.contains_key(&qp) {
-            self.handshake_creations += 1;
-            self.entries.insert(qp, FlowEntry::new(self.queue_capacity));
-        }
+        let capacity = self.queue_capacity;
+        let creations = &mut self.handshake_creations;
+        self.entries.entry(qp).or_insert_with(|| {
+            *creations += 1;
+            FlowEntry::new(capacity)
+        });
     }
 
     /// Entry lookup, creating lazily if the handshake was missed.
+    /// Single hash probe per packet (the per-data-packet hot path).
     pub fn entry(&mut self, qp: QpId) -> &mut FlowEntry {
-        if !self.entries.contains_key(&qp) {
-            self.lazy_creations += 1;
-            self.entries.insert(qp, FlowEntry::new(self.queue_capacity));
-        }
-        self.entries.get_mut(&qp).expect("just inserted")
+        let capacity = self.queue_capacity;
+        let creations = &mut self.lazy_creations;
+        self.entries.entry(qp).or_insert_with(|| {
+            *creations += 1;
+            FlowEntry::new(capacity)
+        })
     }
 
     /// Entry lookup without creation.

@@ -114,10 +114,7 @@ mod tests {
     #[test]
     fn scales_linearly_in_qps_and_nics() {
         let base = MemoryModel::table1_reference();
-        let double_qp = MemoryModel {
-            n_qp: 200,
-            ..base
-        };
+        let double_qp = MemoryModel { n_qp: 200, ..base };
         assert_eq!(
             double_qp.total_bytes() - double_qp.pathmap_bytes(),
             2 * (base.total_bytes() - base.pathmap_bytes())

@@ -160,7 +160,17 @@ mod tests {
     }
 
     fn data(psn: u32) -> Packet {
-        Packet::data(QpId(1), HostId(0), HostId(9), 700, psn, 0, false, 1000, false)
+        Packet::data(
+            QpId(1),
+            HostId(0),
+            HostId(9),
+            700,
+            psn,
+            0,
+            false,
+            1000,
+            false,
+        )
     }
 
     #[test]
@@ -237,7 +247,9 @@ mod tests {
         );
         // Spraying still active.
         let mut up = data(5);
-        assert!(m.on_upstream_data(&mut up, 2, &mut hook_ctx(&mut emit)).is_some());
+        assert!(m
+            .on_upstream_data(&mut up, 2, &mut hook_ctx(&mut emit))
+            .is_some());
     }
 
     #[test]
@@ -246,9 +258,14 @@ mod tests {
         let mut emit = Vec::new();
         m.on_link_failure();
         let mut up = data(5);
-        assert_eq!(m.on_upstream_data(&mut up, 2, &mut hook_ctx(&mut emit)), None);
+        assert_eq!(
+            m.on_upstream_data(&mut up, 2, &mut hook_ctx(&mut emit)),
+            None
+        );
         m.on_link_recovery();
-        assert!(m.on_upstream_data(&mut up, 2, &mut hook_ctx(&mut emit)).is_some());
+        assert!(m
+            .on_upstream_data(&mut up, 2, &mut hook_ctx(&mut emit))
+            .is_some());
     }
 
     #[test]

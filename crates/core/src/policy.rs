@@ -100,10 +100,7 @@ mod tests {
     fn eq1_rotates_with_base() {
         for psn in 0..32u32 {
             for base in 0..8 {
-                assert_eq!(
-                    path_of(psn, 8, base),
-                    (path_of(psn, 8, 0) + base) % 8
-                );
+                assert_eq!(path_of(psn, 8, base), (path_of(psn, 8, 0) + base) % 8);
             }
         }
     }

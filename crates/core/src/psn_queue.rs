@@ -95,7 +95,12 @@ impl PsnQueue {
     ///
     /// `f_times_100` is the expansion factor ×100 (150 → F = 1.5),
     /// keeping the arithmetic integral.
-    pub fn capacity_for(bw_bps: u64, rtt_last: TimeDelta, mtu_bytes: u32, f_times_100: u32) -> usize {
+    pub fn capacity_for(
+        bw_bps: u64,
+        rtt_last: TimeDelta,
+        mtu_bytes: u32,
+        f_times_100: u32,
+    ) -> usize {
         let bdp_bytes = (bw_bps as u128 * rtt_last.as_nanos() as u128) / 8 / 1_000_000_000;
         let expanded = bdp_bytes * f_times_100 as u128;
         let entries = expanded.div_ceil(mtu_bytes as u128 * 100);
@@ -203,20 +208,14 @@ mod tests {
     #[test]
     fn sizing_rule_matches_table1() {
         // 400 Gbps × 2 µs × 1.5 / 1500 B = 100 entries (§4 example).
-        let cap = PsnQueue::capacity_for(
-            400_000_000_000,
-            TimeDelta::from_micros(2),
-            1500,
-            150,
-        );
+        let cap = PsnQueue::capacity_for(400_000_000_000, TimeDelta::from_micros(2), 1500, 150);
         assert_eq!(cap, 100);
     }
 
     #[test]
     fn sizing_rule_rounds_up_and_floors_at_one() {
         // 100 Gbps × 1 µs × 1.5 / 1500 = 12.5 -> 13.
-        let cap =
-            PsnQueue::capacity_for(100_000_000_000, TimeDelta::from_micros(1), 1500, 150);
+        let cap = PsnQueue::capacity_for(100_000_000_000, TimeDelta::from_micros(1), 1500, 150);
         assert_eq!(cap, 13);
         // Tiny BDP still yields a usable queue.
         let cap = PsnQueue::capacity_for(1_000_000, TimeDelta::from_micros(1), 1500, 150);

@@ -247,7 +247,17 @@ mod tests {
     }
 
     fn data(psn: u32) -> Packet {
-        Packet::data(QpId(1), HostId(0), HostId(9), 700, psn, 0, false, 1000, false)
+        Packet::data(
+            QpId(1),
+            HostId(0),
+            HostId(9),
+            700,
+            psn,
+            0,
+            false,
+            1000,
+            false,
+        )
     }
 
     fn feed(t: &mut ThemisD, psns: &[u32]) -> Vec<Packet> {

@@ -86,7 +86,11 @@ impl ThemisS {
                     n_paths,
                     "two-tier PathMap bits must multiply to n_paths"
                 );
-                Some(PathMap::build_two_tier(bits_stage1, shift_stage2, bits_stage2))
+                Some(PathMap::build_two_tier(
+                    bits_stage1,
+                    shift_stage2,
+                    bits_stage2,
+                ))
             }
             SprayMode::DirectEgress => None,
         };
@@ -201,7 +205,17 @@ mod tests {
     use netsim::types::{HostId, QpId};
 
     fn data(psn: u32, sport: u16) -> Packet {
-        Packet::data(QpId(1), HostId(0), HostId(9), sport, psn, 0, false, 1000, false)
+        Packet::data(
+            QpId(1),
+            HostId(0),
+            HostId(9),
+            sport,
+            psn,
+            0,
+            false,
+            1000,
+            false,
+        )
     }
 
     #[test]
@@ -359,7 +373,10 @@ mod tests {
 
     #[test]
     fn memory_accounting() {
-        assert_eq!(ThemisS::new(256, SprayMode::PathMapRewrite).memory_bytes(), 512);
+        assert_eq!(
+            ThemisS::new(256, SprayMode::PathMapRewrite).memory_bytes(),
+            512
+        );
         assert_eq!(ThemisS::new(256, SprayMode::DirectEgress).memory_bytes(), 0);
     }
 }

@@ -1,25 +1,29 @@
 //! Full Figure 1 reproduction binary.
 //!
-//! Usage: `cargo run --release -p themis-harness --bin fig1 [MB_PER_FLOW]`
+//! Usage: `cargo run --release -p themis-harness --bin fig1 [MB_PER_FLOW] [--jobs N]`
 //!
 //! Defaults to 25 MB per flow (paper: 100). Prints the Fig 1b and Fig 1c
 //! series for the chosen flow (node 0 → node 2) and the Fig 1d NIC-SR vs
-//! Ideal throughput comparison.
+//! Ideal throughput comparison. `--jobs N` runs the two transport cells
+//! on separate workers; output is identical for any N.
 
 use simcore::time::TimeDelta;
-use themis_harness::fig1::{run_fig1, Fig1Transport};
+use themis_harness::fig1::{run_fig1, Fig1Result, Fig1Transport};
 use themis_harness::report::render_ascii_chart;
+use themis_harness::sweep::{take_jobs_arg, SweepRunner};
 
 fn main() {
-    let mb: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(25);
+    let (jobs, rest) = take_jobs_arg(std::env::args().skip(1).collect());
+    let mb: u64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(25);
     let bytes = mb << 20;
     println!("Figure 1 — motivation experiment ({mb} MB per flow; paper: 100 MB)\n");
 
-    let sr = run_fig1(Fig1Transport::NicSr, bytes, TimeDelta::from_micros(50), 42);
-    let ideal = run_fig1(Fig1Transport::Ideal, bytes, TimeDelta::from_micros(50), 42);
+    let cells = [Fig1Transport::NicSr, Fig1Transport::Ideal];
+    let mut results: Vec<Fig1Result> = SweepRunner::new(jobs).run(&cells, |&transport| {
+        run_fig1(transport, bytes, TimeDelta::from_micros(50), 42)
+    });
+    let ideal = results.pop().expect("two cells");
+    let sr = results.pop().expect("two cells");
     assert!(sr.completed && ideal.completed);
 
     println!(
@@ -49,8 +53,14 @@ fn main() {
         sr.avg_rate_gbps
     );
     println!("Fig 1d: average per-flow throughput");
-    println!("  NIC-SR : {:>6.2} Gbps  [paper 68.09]", sr.mean_flow_throughput_gbps);
-    println!("  Ideal  : {:>6.2} Gbps  [paper 95.43]", ideal.mean_flow_throughput_gbps);
+    println!(
+        "  NIC-SR : {:>6.2} Gbps  [paper 68.09]",
+        sr.mean_flow_throughput_gbps
+    );
+    println!(
+        "  Ideal  : {:>6.2} Gbps  [paper 95.43]",
+        ideal.mean_flow_throughput_gbps
+    );
     println!(
         "  ratio  : {:>6.2}       [paper 0.71]",
         sr.mean_flow_throughput_gbps / ideal.mean_flow_throughput_gbps

@@ -1,17 +1,21 @@
 //! Full Figure 5 reproduction binary.
 //!
 //! Usage:
-//! `cargo run --release -p themis-harness --bin fig5 [allreduce|alltoall] [MB_PER_GROUP]`
+//! `cargo run --release -p themis-harness --bin fig5 [allreduce|alltoall] [MB_PER_GROUP] [--jobs N]`
 //!
 //! Defaults to Allreduce at 8 MB per group. The paper's full scale is
 //! 300 MB per group (expect a long run: ~10⁹ simulator events).
+//! `--jobs N` fans the 15 sweep cells over N worker threads; results
+//! are identical for any N.
 
-use themis_harness::fig5::{improvement_pct, run_fig5, Fig5Config};
+use themis_harness::fig5::{improvement_pct, run_fig5_with, Fig5Config};
 use themis_harness::report::{fmt_ms, Table};
+use themis_harness::sweep::{take_jobs_arg, SweepRunner};
 use themis_harness::{Collective, Scheme};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (jobs, rest) = take_jobs_arg(std::env::args().skip(1).collect());
+    let mut args = rest.into_iter();
     let collective = match args.next().as_deref() {
         Some("alltoall") => Collective::Alltoall,
         Some("allreduce") | None => Collective::Allreduce,
@@ -31,13 +35,16 @@ fn main() {
         "Figure {figure} — {} tail completion time ({mb} MB per group; paper: 300 MB)",
         collective.label()
     );
-    println!("16x16 leaf-spine @400 Gbps, 16 groups x 16 NICs\n");
+    println!("16x16 leaf-spine @400 Gbps, 16 groups x 16 NICs ({jobs} worker(s))\n");
 
     let cfg = Fig5Config::paper(collective, bytes, 1);
-    let points = run_fig5(&cfg);
+    let points = run_fig5_with(&cfg, SweepRunner::new(jobs));
 
     let mut table = Table::new(
-        format!("{} tail CT (ms) per DCQCN (T_I, T_D) us", collective.label()),
+        format!(
+            "{} tail CT (ms) per DCQCN (T_I, T_D) us",
+            collective.label()
+        ),
         &["(TI,TD)", "ECMP", "AR", "Themis", "Themis vs AR"],
     );
     let mut improvements = Vec::new();

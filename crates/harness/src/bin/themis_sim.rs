@@ -20,6 +20,7 @@
 //!   --transport T     sr | gbn | ideal                      [sr]
 //!   --seed N          root seed                             [1]
 //!   --pfc             enable hop-by-hop PFC
+//!   --jobs N          sweep worker threads (sweep command)  [$THEMIS_JOBS or 1]
 //! ```
 //!
 //! Examples:
@@ -37,6 +38,7 @@ use simcore::time::{Nanos, TimeDelta};
 use themis_core::memory::MemoryModel;
 use themis_harness::fig5::improvement_pct;
 use themis_harness::report::{fmt_ms, Table};
+use themis_harness::sweep::SweepRunner;
 use themis_harness::{
     run_collective, run_point_to_point, Collective, ExperimentConfig, ExperimentResult, Scheme,
 };
@@ -125,11 +127,16 @@ fn build_config(args: &Args) -> ExperimentConfig {
         "paper" => LeafSpineConfig::paper_eval(),
         "motivation" => LeafSpineConfig::motivation(),
         other => {
-            eprintln!("unknown fabric '{other}' (use paper|motivation or --leaves/--hosts/--spines)");
+            eprintln!(
+                "unknown fabric '{other}' (use paper|motivation or --leaves/--hosts/--spines)"
+            );
             std::process::exit(2);
         }
     };
-    if args.kv.contains_key("leaves") || args.kv.contains_key("hosts") || args.kv.contains_key("spines") {
+    if args.kv.contains_key("leaves")
+        || args.kv.contains_key("hosts")
+        || args.kv.contains_key("spines")
+    {
         let gbps = args.get("gbps", 100u64);
         fabric = LeafSpineConfig {
             n_leaves: args.get("leaves", 4usize),
@@ -177,7 +184,10 @@ fn print_result(r: &ExperimentResult, wall: std::time::Duration) {
         Some(ct) => println!("completion (tail) : {} ms", fmt_ms(Some(ct))),
         None => println!("completion (tail) : DID NOT FINISH before the horizon"),
     }
-    println!("goodput           : {:.1} Gbps aggregate", r.aggregate_goodput_gbps());
+    println!(
+        "goodput           : {:.1} Gbps aggregate",
+        r.aggregate_goodput_gbps()
+    );
     println!(
         "data packets      : {} (+{} retransmitted, ratio {:.4})",
         r.nics.data_packets,
@@ -244,7 +254,11 @@ fn main() {
         "p2p" => {
             let cfg = build_config(&args);
             let bytes = args.get("mb", 4u64) << 20;
-            println!("point-to-point {} MB, scheme {}\n", bytes >> 20, cfg.scheme.label());
+            println!(
+                "point-to-point {} MB, scheme {}\n",
+                bytes >> 20,
+                cfg.scheme.label()
+            );
             let t0 = std::time::Instant::now();
             let r = run_point_to_point(&cfg, bytes);
             if args.has("csv") {
@@ -258,16 +272,27 @@ fn main() {
             let collective = parse_collective(&args.str("collective", "allreduce"));
             let bytes = args.get("mb", 2u64) << 20;
             let seed = args.get("seed", 1u64);
+            let jobs = args.get("jobs", SweepRunner::from_env().jobs());
             let mut table = Table::new(
-                format!("{} tail CT (ms), {} MB/group", collective.label(), bytes >> 20),
+                format!(
+                    "{} tail CT (ms), {} MB/group ({jobs} worker(s))",
+                    collective.label(),
+                    bytes >> 20
+                ),
                 &["(TI,TD)", "ECMP", "AR", "Themis", "Themis vs AR"],
             );
-            for (ti, td) in CcConfig::paper_sweep() {
-                let ct = |scheme| {
-                    let cfg = ExperimentConfig::paper_eval(scheme, ti, td, seed);
-                    run_collective(&cfg, collective, bytes).tail_ct
-                };
-                let (e, a, t) = (ct(Scheme::Ecmp), ct(Scheme::AdaptiveRouting), ct(Scheme::Themis));
+            const SCHEMES: [Scheme; 3] = [Scheme::Ecmp, Scheme::AdaptiveRouting, Scheme::Themis];
+            let cells: Vec<(u64, u64, Scheme)> = CcConfig::paper_sweep()
+                .iter()
+                .flat_map(|&(ti, td)| SCHEMES.iter().map(move |&s| (ti, td, s)))
+                .collect();
+            let cts = SweepRunner::new(jobs).run(&cells, |&(ti, td, scheme)| {
+                let cfg = ExperimentConfig::paper_eval(scheme, ti, td, seed);
+                run_collective(&cfg, collective, bytes).tail_ct
+            });
+            for (point, row) in cells.chunks(SCHEMES.len()).zip(cts.chunks(SCHEMES.len())) {
+                let (ti, td) = (point[0].0, point[0].1);
+                let (e, a, t) = (row[0], row[1], row[2]);
                 let vs = match (t, a) {
                     (Some(t), Some(a)) => format!("{:+.1}%", improvement_pct(t, a)),
                     _ => "-".into(),
@@ -289,7 +314,11 @@ fn main() {
             println!("N_entries = {}", m.n_entries());
             println!("M_PathMap = {} B", m.pathmap_bytes());
             println!("M_QP      = {} B", m.per_qp_bytes());
-            println!("M_total   = {} B (~{:.0} KB)", m.total_bytes(), m.total_bytes() as f64 / 1000.0);
+            println!(
+                "M_total   = {} B (~{:.0} KB)",
+                m.total_bytes(),
+                m.total_bytes() as f64 / 1000.0
+            );
             println!(
                 "          = {:.2}% of 32 MB, {:.2}% of 64 MB switch SRAM",
                 m.fraction_of_sram(32 << 20) * 100.0,

@@ -32,7 +32,11 @@ pub struct Cluster {
 impl Cluster {
     /// All switch entity ids.
     pub fn all_switches(&self) -> Vec<NodeId> {
-        self.leaves.iter().chain(self.spines.iter()).copied().collect()
+        self.leaves
+            .iter()
+            .chain(self.spines.iter())
+            .copied()
+            .collect()
     }
 
     /// Immutable NIC access.
@@ -93,11 +97,7 @@ pub struct ThemisAggregate {
 /// Build a cluster: fabric per `fabric_cfg`, one NIC per host, Themis
 /// middleware on every ToR when the scheme calls for it, and a reserved
 /// driver slot.
-pub fn build_cluster(
-    fabric_cfg: &LeafSpineConfig,
-    nic_cfg: NicConfig,
-    scheme: Scheme,
-) -> Cluster {
+pub fn build_cluster(fabric_cfg: &LeafSpineConfig, nic_cfg: NicConfig, scheme: Scheme) -> Cluster {
     let mut fabric_cfg = fabric_cfg.clone();
     fabric_cfg.lb = scheme.lb_policy();
     // The Ideal transport needs drop notifications from switches.

@@ -186,8 +186,10 @@ sprayed,blocked,forwarded_valid,compensations,msg_p50_us,msg_p99_us,events"
     /// One CSV row of the headline metrics (empty cells for missing
     /// values), for spreadsheet/plotting pipelines.
     pub fn to_csv_row(&self) -> String {
-        let opt_us =
-            |t: Option<TimeDelta>| t.map(|v| format!("{:.3}", v.as_micros_f64())).unwrap_or_default();
+        let opt_us = |t: Option<TimeDelta>| {
+            t.map(|v| format!("{:.3}", v.as_micros_f64()))
+                .unwrap_or_default()
+        };
         format!(
             "{},{},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.scheme.label(),
@@ -259,13 +261,21 @@ pub fn run_collective_on(
     let mut driver = Driver::new();
     for hosts in &groups {
         let schedule = collective.schedule(hosts.len(), total_bytes);
-        let spec = setup_collective(&mut cluster.world, cluster.driver, hosts, schedule, &mut alloc);
+        let spec = setup_collective(
+            &mut cluster.world,
+            cluster.driver,
+            hosts,
+            schedule,
+            &mut alloc,
+        );
         driver.add_instance(spec);
     }
     cluster.world.install(cluster.driver, Box::new(driver));
-    cluster
-        .world
-        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.seed_event(
+        Nanos::ZERO,
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
     cluster.world.run_until(cfg.horizon);
     (collect_result(cfg, &cluster), cluster)
 }
@@ -277,6 +287,25 @@ pub fn run_collective(
     total_bytes: u64,
 ) -> ExperimentResult {
     run_collective_on(cfg, collective, total_bytes).0
+}
+
+/// Run the same collective across `seeds`, one independent simulation
+/// per seed, fanned out over `runner`'s workers. Results come back in
+/// seed order and are bit-identical for any worker count (each cell
+/// derives all randomness from its own seed).
+pub fn run_seed_sweep(
+    cfg: &ExperimentConfig,
+    collective: Collective,
+    total_bytes: u64,
+    seeds: &[u64],
+    runner: crate::sweep::SweepRunner,
+) -> Vec<ExperimentResult> {
+    runner.run(seeds, |&seed| {
+        let mut cell = cfg.clone();
+        cell.seed = seed;
+        cell.fabric.seed = seed;
+        run_collective(&cell, collective, total_bytes)
+    })
 }
 
 /// A single point-to-point message between two cross-rack hosts; the
@@ -307,9 +336,11 @@ pub fn run_point_to_point(cfg: &ExperimentConfig, bytes: u64) -> ExperimentResul
     );
     driver.add_instance(spec);
     cluster.world.install(cluster.driver, Box::new(driver));
-    cluster
-        .world
-        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.seed_event(
+        Nanos::ZERO,
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
     cluster.world.run_until(cfg.horizon);
     collect_result(cfg, &cluster)
 }
@@ -432,11 +463,7 @@ mod tests {
         for scheme in [Scheme::RandomSpray, Scheme::Themis, Scheme::Ecmp] {
             let cfg = ExperimentConfig::motivation_small(scheme, 5);
             let r = run_collective(&cfg, Collective::RingOnce, 2 << 20);
-            assert!(
-                r.all_messages_completed(),
-                "{}: incomplete",
-                scheme.label()
-            );
+            assert!(r.all_messages_completed(), "{}: incomplete", scheme.label());
             assert_eq!(r.group_cts.len(), 2, "two groups on the motivation topo");
             // All 8 flows delivered fully.
             assert_eq!(r.nics.bytes_delivered, 8 * (2 << 20));

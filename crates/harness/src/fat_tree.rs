@@ -132,9 +132,11 @@ mod tests {
         );
         driver.add_instance(spec);
         cluster.world.install(cluster.driver, Box::new(driver));
-        cluster
-            .world
-            .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+        cluster.world.seed_event(
+            Nanos::ZERO,
+            cluster.driver,
+            Event::Timer { token: START_TOKEN },
+        );
         cluster.world.run_until(Nanos::from_secs(2));
         let d: &Driver = cluster.world.get(cluster.driver).expect("driver");
         let ct = d.tail_completion();
@@ -215,9 +217,11 @@ mod tests {
         );
         driver.add_instance(spec);
         cluster.world.install(cluster.driver, Box::new(driver));
-        cluster
-            .world
-            .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+        cluster.world.seed_event(
+            Nanos::ZERO,
+            cluster.driver,
+            Event::Timer { token: START_TOKEN },
+        );
         cluster.world.run_until(Nanos::from_secs(2));
         let d: &Driver = cluster.world.get(cluster.driver).expect("driver");
         assert!(d.all_complete(), "intra-pod traffic must complete");

@@ -93,7 +93,13 @@ pub fn run_fig1(
         for t in &schedule.transfers {
             flow_bytes.push(t.bytes);
         }
-        let spec = setup_collective(&mut cluster.world, cluster.driver, hosts, schedule, &mut alloc);
+        let spec = setup_collective(
+            &mut cluster.world,
+            cluster.driver,
+            hosts,
+            schedule,
+            &mut alloc,
+        );
         // The paper's chosen flow: node 0 -> node 2, i.e. group 0 rank 0.
         if chosen_qp.is_none() {
             chosen_qp = Some((spec.hosts[0], spec.qp_of_transfer[0]));
@@ -108,9 +114,11 @@ pub fn run_fig1(
         .enable_send_trace(chosen_qp, trace_bin);
 
     cluster.world.install(cluster.driver, Box::new(driver));
-    cluster
-        .world
-        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.seed_event(
+        Nanos::ZERO,
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
     cluster.world.run_until(cfg.horizon);
 
     // ---- extract ----

@@ -7,6 +7,7 @@
 
 use crate::experiment::{run_collective, Collective, ExperimentConfig, ExperimentResult};
 use crate::scheme::Scheme;
+use crate::sweep::SweepRunner;
 use rnic::CcConfig;
 use simcore::time::TimeDelta;
 
@@ -54,24 +55,32 @@ impl Fig5Config {
     }
 }
 
-/// Run the full sweep. Points are produced scheme-major per DCQCN config,
-/// matching the figure's bar grouping.
+/// Run the full sweep serially. Points are produced scheme-major per
+/// DCQCN config, matching the figure's bar grouping.
 pub fn run_fig5(cfg: &Fig5Config) -> Vec<Fig5Point> {
-    let mut points = Vec::new();
-    for &(ti, td) in &cfg.sweep {
-        for &scheme in &cfg.schemes {
-            let exp = ExperimentConfig::paper_eval(scheme, ti, td, cfg.seed);
-            let result = run_collective(&exp, cfg.collective, cfg.total_bytes);
-            points.push(Fig5Point {
-                ti_us: ti,
-                td_us: td,
-                scheme,
-                tail_ct: result.tail_ct,
-                result,
-            });
+    run_fig5_with(cfg, SweepRunner::new(1))
+}
+
+/// Run the full sweep, fanning cells over `runner`'s workers. Every
+/// cell is an independent simulation; the output order (and, per cell,
+/// every metric) is identical for any worker count.
+pub fn run_fig5_with(cfg: &Fig5Config, runner: SweepRunner) -> Vec<Fig5Point> {
+    let cells: Vec<(u64, u64, Scheme)> = cfg
+        .sweep
+        .iter()
+        .flat_map(|&(ti, td)| cfg.schemes.iter().map(move |&s| (ti, td, s)))
+        .collect();
+    runner.run(&cells, |&(ti, td, scheme)| {
+        let exp = ExperimentConfig::paper_eval(scheme, ti, td, cfg.seed);
+        let result = run_collective(&exp, cfg.collective, cfg.total_bytes);
+        Fig5Point {
+            ti_us: ti,
+            td_us: td,
+            scheme,
+            tail_ct: result.tail_ct,
+            result,
         }
-    }
-    points
+    })
 }
 
 /// Relative improvement of `a` over `b` in percent
@@ -117,11 +126,7 @@ mod tests {
         assert_eq!(points[0].scheme, Scheme::Ecmp);
         assert_eq!(points[1].scheme, Scheme::Themis);
         for p in &points {
-            assert!(
-                p.tail_ct.is_some(),
-                "{} did not complete",
-                p.scheme.label()
-            );
+            assert!(p.tail_ct.is_some(), "{} did not complete", p.scheme.label());
         }
     }
 }

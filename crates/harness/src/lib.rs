@@ -10,6 +10,8 @@
 //! * [`fig1`] — the §2.2 motivation experiment (Fig 1b/1c/1d).
 //! * [`fig5`] — the §5 DCQCN-sweep evaluation (Fig 5a/5b).
 //! * [`report`] — plain-text tables and series for terminal output.
+//! * [`sweep`] — parallel fan-out of independent sweep cells
+//!   (`--jobs N` in the binaries), deterministic in cell order.
 
 pub mod cluster;
 pub mod experiment;
@@ -18,11 +20,13 @@ pub mod fig1;
 pub mod fig5;
 pub mod report;
 pub mod scheme;
+pub mod sweep;
 
 pub use cluster::{build_cluster, Cluster, ThemisAggregate};
-pub use fat_tree::build_fat_tree_cluster;
 pub use experiment::{
-    run_collective, run_collective_on, run_point_to_point, Collective, ExperimentConfig,
-    ExperimentResult, NicAggregate,
+    run_collective, run_collective_on, run_point_to_point, run_seed_sweep, Collective,
+    ExperimentConfig, ExperimentResult, NicAggregate,
 };
+pub use fat_tree::build_fat_tree_cluster;
 pub use scheme::Scheme;
+pub use sweep::SweepRunner;

@@ -145,7 +145,11 @@ pub fn render_ascii_chart(
         .map(|(&s, &c)| if c > 0 { Some(s / c as f64) } else { None })
         .collect();
     let lo = cols.iter().flatten().cloned().fold(f64::INFINITY, f64::min);
-    let hi = cols.iter().flatten().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let hi = cols
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     let range = (hi - lo).max(f64::MIN_POSITIVE);
     // Draw top to bottom.
     for row in (0..height).rev() {
@@ -167,12 +171,7 @@ pub fn render_ascii_chart(
         }
         let _ = writeln!(out, "{}", line.trim_end());
     }
-    let _ = writeln!(
-        out,
-        "{:>9} +{}",
-        "",
-        "-".repeat(width)
-    );
+    let _ = writeln!(out, "{:>9} +{}", "", "-".repeat(width));
     let _ = writeln!(out, "{:>11}{:<.1}us .. {:.1}us", "", t0, t1);
     out
 }

@@ -55,8 +55,7 @@ impl Scheme {
     pub const FLOWLET_GAP: TimeDelta = TimeDelta::from_micros(50);
 
     /// The Fig 5 comparison set.
-    pub const PAPER_FIG5: [Scheme; 3] =
-        [Scheme::Ecmp, Scheme::AdaptiveRouting, Scheme::Themis];
+    pub const PAPER_FIG5: [Scheme; 3] = [Scheme::Ecmp, Scheme::AdaptiveRouting, Scheme::Themis];
 
     /// Short label for tables.
     pub fn label(&self) -> &'static str {
@@ -96,9 +95,7 @@ impl Scheme {
     /// so, how. `base` supplies the fabric-derived parameters.
     pub fn themis_config(&self, base: ThemisConfig) -> Option<ThemisConfig> {
         match self {
-            Scheme::Ecmp | Scheme::AdaptiveRouting | Scheme::RandomSpray | Scheme::Flowlet => {
-                None
-            }
+            Scheme::Ecmp | Scheme::AdaptiveRouting | Scheme::RandomSpray | Scheme::Flowlet => None,
             Scheme::Themis => Some(ThemisConfig {
                 spray_mode: SprayMode::DirectEgress,
                 ..base
@@ -173,7 +170,10 @@ mod tests {
     #[test]
     fn themis_rides_on_ecmp_policy() {
         assert_eq!(Scheme::Themis.lb_policy(), LbPolicy::Ecmp);
-        assert_eq!(Scheme::AdaptiveRouting.lb_policy(), LbPolicy::AdaptiveRouting);
+        assert_eq!(
+            Scheme::AdaptiveRouting.lb_policy(),
+            LbPolicy::AdaptiveRouting
+        );
         assert!(!Scheme::Ecmp.sprays());
         assert!(Scheme::Themis.sprays());
     }

@@ -130,7 +130,10 @@ pub fn build_fat_tree(cfg: &FatTreeConfig) -> FatTreePlan {
     let k = cfg.k;
     let m = k / 2;
     assert!(k >= 2 && k.is_multiple_of(2), "fat-tree radix must be even");
-    assert!(m.is_power_of_two(), "k/2 must be a power of two for XOR path steering");
+    assert!(
+        m.is_power_of_two(),
+        "k/2 must be a power of two for XOR path steering"
+    );
     let n_hosts = cfg.n_hosts();
     let mut world = World::new();
 
@@ -151,7 +154,9 @@ pub fn build_fat_tree(cfg: &FatTreeConfig) -> FatTreePlan {
         })))
     };
 
-    let edges: Vec<NodeId> = (0..k * m).map(|i| mk_switch(&mut world, i as u64, 0)).collect();
+    let edges: Vec<NodeId> = (0..k * m)
+        .map(|i| mk_switch(&mut world, i as u64, 0))
+        .collect();
     let aggs: Vec<NodeId> = (0..k * m)
         .map(|i| mk_switch(&mut world, 10_000 + i as u64, AGG_ECMP_SHIFT))
         .collect();
@@ -178,7 +183,10 @@ pub fn build_fat_tree(cfg: &FatTreeConfig) -> FatTreePlan {
             // Host ports 0..m.
             for s in 0..m {
                 let h = host_id(p, e, s);
-                let idx = sw.add_port(EgressPort::new(host_nodes[h], PortId(0), cfg.host_link), true);
+                let idx = sw.add_port(
+                    EgressPort::new(host_nodes[h], PortId(0), cfg.host_link),
+                    true,
+                );
                 debug_assert_eq!(idx, s);
                 hosts.push(HostAttachment {
                     host: HostId(h as u32),
@@ -267,11 +275,7 @@ pub fn build_fat_tree(cfg: &FatTreeConfig) -> FatTreePlan {
             // Port p towards agg (p, a); arrives at agg uplink port m + j.
             for p in 0..k {
                 let idx = sw.add_port(
-                    EgressPort::new(
-                        aggs[agg_idx(p, a)],
-                        PortId((m + j) as u16),
-                        cfg.fabric_link,
-                    ),
+                    EgressPort::new(aggs[agg_idx(p, a)], PortId((m + j) as u16), cfg.fabric_link),
                     false,
                 );
                 debug_assert_eq!(idx, p);
@@ -430,7 +434,10 @@ mod tests {
         // Cores saw nothing.
         for &c in &plan.cores {
             let sw: &Switch = plan.world.get(c).unwrap();
-            assert_eq!(sw.stats.rx_packets, 0, "intra-pod traffic must not hit cores");
+            assert_eq!(
+                sw.stats.rx_packets, 0,
+                "intra-pod traffic must not hit cores"
+            );
         }
     }
 

@@ -232,8 +232,7 @@ mod tests {
         for bits in [1u32, 2, 3, 4, 8] {
             let n = 1u16 << bits;
             for delta in 0..n {
-                let sd = sport_delta_for_hash_delta(delta, bits)
-                    .expect("solver must find a delta");
+                let sd = sport_delta_for_hash_delta(delta, bits).expect("solver must find a delta");
                 let got = hash_delta_of_sport_delta(sd);
                 assert_eq!(
                     got & (n - 1),

@@ -24,9 +24,9 @@ use crate::hash::{ecmp_hash, FiveTuple};
 use crate::packet::Packet;
 use crate::port::EgressPort;
 use crate::types::QpId;
+use simcore::fx::FxHashMap;
 use simcore::rng::Xoshiro256;
 use simcore::time::{Nanos, TimeDelta};
-use std::collections::HashMap;
 
 /// How a switch picks among its equal-cost uplinks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,7 +60,7 @@ struct FlowletEntry {
 #[derive(Debug)]
 pub struct LbState {
     rr_cursor: usize,
-    flowlets: HashMap<QpId, FlowletEntry>,
+    flowlets: FxHashMap<QpId, FlowletEntry>,
     rng: Xoshiro256,
     /// How many bits to shift the ECMP hash before taking the modulus.
     /// Different tiers of a multi-tier fabric use different views of the
@@ -75,7 +75,7 @@ impl LbState {
     pub fn new(seed: u64, ecmp_shift: u32) -> LbState {
         LbState {
             rr_cursor: 0,
-            flowlets: HashMap::new(),
+            flowlets: FxHashMap::default(),
             rng: Xoshiro256::substream(seed, 0x1b),
             ecmp_shift,
             flowlet_switches: 0,
@@ -180,7 +180,17 @@ mod tests {
     }
 
     fn data_pkt(src: u32, sport: u16, psn: u32) -> Packet {
-        Packet::data(QpId(src), HostId(src), HostId(99), sport, psn, 0, false, 1000, false)
+        Packet::data(
+            QpId(src),
+            HostId(src),
+            HostId(99),
+            sport,
+            psn,
+            0,
+            false,
+            1000,
+            false,
+        )
     }
 
     fn st() -> LbState {
@@ -270,7 +280,13 @@ mod tests {
         let p = data_pkt(1, 777, 0);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {
-            seen.insert(LbPolicy::AdaptiveRouting.select(&p, &uplinks, &ports, Nanos::ZERO, &mut s));
+            seen.insert(LbPolicy::AdaptiveRouting.select(
+                &p,
+                &uplinks,
+                &ports,
+                Nanos::ZERO,
+                &mut s,
+            ));
         }
         assert_eq!(seen.len(), 3, "tie-break should reach every uplink");
     }

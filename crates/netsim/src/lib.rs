@@ -37,12 +37,12 @@ pub mod types;
 pub mod world;
 
 pub use event::{ControlMsg, Event, Routed};
+pub use fat_tree::{build_fat_tree, FatTreeConfig, FatTreePlan};
 pub use hooks::{HookCtx, ReverseAction, TorHook};
 pub use lb::LbPolicy;
 pub use packet::{Packet, PacketKind};
 pub use port::{EcnConfig, EgressPort, LinkSpec, SharedBuffer};
 pub use switch::{Switch, SwitchConfig};
-pub use fat_tree::{build_fat_tree, FatTreeConfig, FatTreePlan};
 pub use topology::{FabricPlan, HostAttachment, LeafSpineConfig};
 pub use types::{HostId, NodeId, PortId, QpId};
 pub use world::{Ctx, Entity, World};

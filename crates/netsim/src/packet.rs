@@ -263,9 +263,14 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(
-            Packet::handshake(qp(), HostId(0), HostId(1), 1).kind.label(),
+            Packet::handshake(qp(), HostId(0), HostId(1), 1)
+                .kind
+                .label(),
             "HS"
         );
-        assert_eq!(Packet::cnp(qp(), HostId(0), HostId(1), 1).kind.label(), "CNP");
+        assert_eq!(
+            Packet::cnp(qp(), HostId(0), HostId(1), 1).kind.label(),
+            "CNP"
+        );
     }
 }

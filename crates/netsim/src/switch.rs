@@ -17,8 +17,8 @@ use crate::packet::{Packet, PacketKind};
 use crate::port::{EcnConfig, EgressPort, SharedBuffer};
 use crate::types::{HostId, NodeId, PortId, QpId};
 use crate::world::{Ctx, Entity};
+use simcore::fx::FxHashSet;
 use simcore::rng::Xoshiro256;
-use std::collections::HashSet;
 
 /// Per-destination routing decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,7 +127,7 @@ pub struct Switch {
     hook: Option<Box<dyn TorHook>>,
     rng: Xoshiro256,
     oracle_loss_notify: bool,
-    targeted_drops: HashSet<(QpId, u32)>,
+    targeted_drops: FxHashSet<(QpId, u32)>,
     tap: Option<Box<dyn crate::trace::PacketTap>>,
     ctrl_priority: bool,
     pfc: Option<PfcConfig>,
@@ -151,7 +151,7 @@ impl Switch {
             hook: None,
             rng: Xoshiro256::seeded(cfg.seed),
             oracle_loss_notify: cfg.oracle_loss_notify,
-            targeted_drops: HashSet::new(),
+            targeted_drops: FxHashSet::default(),
             tap: None,
             ctrl_priority: cfg.ctrl_priority,
             pfc: cfg.pfc,
@@ -424,11 +424,16 @@ impl Switch {
         // Hook-emitted packets skip hooks themselves, so one pass cannot
         // produce new emissions; the loop guards the invariant anyway.
         while !self.emit_scratch.is_empty() {
-            let batch = std::mem::take(&mut self.emit_scratch);
-            for p in batch {
+            let mut batch = std::mem::take(&mut self.emit_scratch);
+            for p in batch.drain(..) {
                 self.stats.hook_emitted += 1;
                 // Hook-originated packets have no real ingress port.
                 self.route_and_enqueue(p, None, false, PortId(u16::MAX), ctx);
+            }
+            if self.emit_scratch.is_empty() {
+                // Hand the drained buffer back so its capacity is reused
+                // instead of reallocated on the next hook emission.
+                self.emit_scratch = batch;
             }
         }
     }
@@ -439,7 +444,10 @@ impl Switch {
         }
         if let PacketKind::Data { psn, .. } = pkt.kind {
             // Node-id convention: host h is entity h.
-            ctx.control(NodeId(pkt.dst.0), ControlMsg::OracleLoss { qp: pkt.qp, psn });
+            ctx.control(
+                NodeId(pkt.dst.0),
+                ControlMsg::OracleLoss { qp: pkt.qp, psn },
+            );
         }
     }
 }
@@ -521,7 +529,17 @@ mod tests {
     }
 
     fn data(qp: u32, dst: u32, psn: u32) -> Packet {
-        Packet::data(QpId(qp), HostId(0), HostId(dst), 100, psn, 0, false, 1436, false)
+        Packet::data(
+            QpId(qp),
+            HostId(0),
+            HostId(dst),
+            100,
+            psn,
+            0,
+            false,
+            1436,
+            false,
+        )
     }
 
     /// World with: sink host at node 0 (HostId 0 unused), a switch, and a
@@ -530,7 +548,10 @@ mod tests {
         let mut w = World::new();
         let sink = w.add(Box::new(Sink { got: vec![] }));
         let mut sw = Switch::new(&SwitchConfig::default());
-        sw.add_port(EgressPort::new(sink, PortId(0), LinkSpec::gbps(100, 1)), true);
+        sw.add_port(
+            EgressPort::new(sink, PortId(0), LinkSpec::gbps(100, 1)),
+            true,
+        );
         sw.set_route(HostId(1), RouteEntry::Port(0));
         let swid = w.add(Box::new(sw));
         (w, swid, sink)
@@ -660,8 +681,14 @@ mod tests {
             lb: LbPolicy::RoundRobin,
             ..SwitchConfig::default()
         });
-        let pa = sw.add_port(EgressPort::new(sink_a, PortId(0), LinkSpec::gbps(100, 1)), false);
-        let pb = sw.add_port(EgressPort::new(sink_b, PortId(0), LinkSpec::gbps(100, 1)), false);
+        let pa = sw.add_port(
+            EgressPort::new(sink_a, PortId(0), LinkSpec::gbps(100, 1)),
+            false,
+        );
+        let pb = sw.add_port(
+            EgressPort::new(sink_b, PortId(0), LinkSpec::gbps(100, 1)),
+            false,
+        );
         sw.set_uplinks(vec![pa, pb]);
         sw.set_route(HostId(1), RouteEntry::Uplinks);
         let swid = w.add(Box::new(sw));
@@ -787,8 +814,14 @@ mod tests {
         let sink = w.add(Box::new(Sink { got: vec![] }));
         let mut sw = Switch::new(&SwitchConfig::default());
         // Port 0: host-facing (where the NACK comes from); port 1: upstream.
-        sw.add_port(EgressPort::new(sink, PortId(0), LinkSpec::gbps(100, 1)), true);
-        let up = sw.add_port(EgressPort::new(sink, PortId(0), LinkSpec::gbps(100, 1)), false);
+        sw.add_port(
+            EgressPort::new(sink, PortId(0), LinkSpec::gbps(100, 1)),
+            true,
+        );
+        let up = sw.add_port(
+            EgressPort::new(sink, PortId(0), LinkSpec::gbps(100, 1)),
+            false,
+        );
         sw.set_route(HostId(5), RouteEntry::Port(up as u16));
         sw.set_hook(Box::new(BlockAllNacks));
         let swid = w.add(Box::new(sw));
@@ -820,7 +853,10 @@ mod tests {
         let mut w = World::new();
         let sink = w.add(Box::new(Sink { got: vec![] }));
         let mut sw = Switch::new(&SwitchConfig::default());
-        let down = sw.add_port(EgressPort::new(sink, PortId(0), LinkSpec::gbps(100, 1)), true);
+        let down = sw.add_port(
+            EgressPort::new(sink, PortId(0), LinkSpec::gbps(100, 1)),
+            true,
+        );
         sw.set_route(HostId(1), RouteEntry::Port(down as u16));
         sw.set_hook(Box::new(BlockAllNacks));
         let swid = w.add(Box::new(sw));

@@ -197,10 +197,7 @@ pub fn build_leaf_spine(cfg: &LeafSpineConfig) -> FabricPlan {
         for j in 0..cfg.hosts_per_leaf {
             let h = l * cfg.hosts_per_leaf + j;
             let host_node = host_nodes[h];
-            let idx = sw.add_port(
-                EgressPort::new(host_node, PortId(0), cfg.host_link),
-                true,
-            );
+            let idx = sw.add_port(EgressPort::new(host_node, PortId(0), cfg.host_link), true);
             debug_assert_eq!(idx, j);
             hosts.push(HostAttachment {
                 host: HostId(h as u32),
@@ -213,7 +210,10 @@ pub fn build_leaf_spine(cfg: &LeafSpineConfig) -> FabricPlan {
         let mut uplinks = Vec::with_capacity(cfg.n_spines);
         for (s, &spine) in spine_ids.iter().enumerate() {
             // Our packets arrive at the spine on its port `l`.
-            let idx = sw.add_port(EgressPort::new(spine, PortId(l as u16), cfg.fabric_link), false);
+            let idx = sw.add_port(
+                EgressPort::new(spine, PortId(l as u16), cfg.fabric_link),
+                false,
+            );
             debug_assert_eq!(idx, cfg.hosts_per_leaf + s);
             uplinks.push(idx);
         }
@@ -238,7 +238,10 @@ pub fn build_leaf_spine(cfg: &LeafSpineConfig) -> FabricPlan {
     // port for this spine).
     for (s, &spine) in spine_ids.iter().enumerate() {
         let mut sw = Switch::new(&SwitchConfig::default());
-        std::mem::swap(world.get_mut::<Switch>(spine).expect("spine exists"), &mut sw);
+        std::mem::swap(
+            world.get_mut::<Switch>(spine).expect("spine exists"),
+            &mut sw,
+        );
         for (l, &leaf) in leaf_ids.iter().enumerate() {
             let leaf_in_port = PortId((cfg.hosts_per_leaf + s) as u16);
             let idx = sw.add_port(EgressPort::new(leaf, leaf_in_port, cfg.fabric_link), false);
@@ -253,7 +256,10 @@ pub fn build_leaf_spine(cfg: &LeafSpineConfig) -> FabricPlan {
         if cfg.ecn {
             sw.set_ecn_all_ports(|p| Some(EcnConfig::for_bandwidth(p.link.bandwidth_bps)));
         }
-        std::mem::swap(world.get_mut::<Switch>(spine).expect("spine exists"), &mut sw);
+        std::mem::swap(
+            world.get_mut::<Switch>(spine).expect("spine exists"),
+            &mut sw,
+        );
     }
 
     FabricPlan {

@@ -188,7 +188,9 @@ mod tests {
         assert_eq!(tap.len(), 3);
         let seqs: Vec<u32> = tap.records().map(|r| r.seq).collect();
         assert_eq!(seqs, vec![2, 3, 4], "oldest evicted");
-        assert!(tap.records().all(|r| r.kind == "DATA" && r.egress == PortId(2)));
+        assert!(tap
+            .records()
+            .all(|r| r.kind == "DATA" && r.egress == PortId(2)));
     }
 
     #[test]
@@ -214,13 +216,23 @@ mod tests {
         let mut w = World::new();
         let sink = w.add(Box::new(Sink));
         let mut sw = Switch::new(&SwitchConfig::default());
-        sw.add_port(EgressPort::new(sink, PortId(0), LinkSpec::gbps(100, 1)), true);
+        sw.add_port(
+            EgressPort::new(sink, PortId(0), LinkSpec::gbps(100, 1)),
+            true,
+        );
         sw.set_route(HostId(1), RouteEntry::Port(0));
         sw.set_tap(Box::new(RingTap::new(16)));
         let swid = w.add(Box::new(sw));
         for psn in 0..4u32 {
             let pkt = Packet::data(QpId(9), HostId(0), HostId(1), 7, psn, 0, false, 100, false);
-            w.seed_event(Nanos(psn as u64), swid, Event::Packet { pkt, in_port: PortId(5) });
+            w.seed_event(
+                Nanos(psn as u64),
+                swid,
+                Event::Packet {
+                    pkt,
+                    in_port: PortId(5),
+                },
+            );
         }
         w.run();
         let sw: &Switch = w.get(swid).unwrap();

@@ -73,14 +73,26 @@ impl<'a> Ctx<'a> {
     #[inline]
     pub fn tx_done_in(&mut self, delay: TimeDelta, port: PortId) {
         let node = self.self_id;
-        self.engine.schedule_in(delay, Routed { node, ev: Event::TxDone { port } });
+        self.engine.schedule_in(
+            delay,
+            Routed {
+                node,
+                ev: Event::TxDone { port },
+            },
+        );
     }
 
     /// Arm a timer on the caller itself.
     #[inline]
     pub fn timer_in(&mut self, delay: TimeDelta, token: u64) {
         let node = self.self_id;
-        self.engine.schedule_in(delay, Routed { node, ev: Event::Timer { token } });
+        self.engine.schedule_in(
+            delay,
+            Routed {
+                node,
+                ev: Event::Timer { token },
+            },
+        );
     }
 
     /// Deliver a PFC pause/resume frame to `to` (arriving for its port
@@ -295,7 +307,14 @@ mod tests {
             }),
         );
         let pkt = Packet::cnp(QpId(0), HostId(0), HostId(1), 1);
-        w.seed_event(Nanos::ZERO, a, Event::Packet { pkt, in_port: PortId(0) });
+        w.seed_event(
+            Nanos::ZERO,
+            a,
+            Event::Packet {
+                pkt,
+                in_port: PortId(0),
+            },
+        );
         let reason = w.run();
         assert_eq!(reason, StopReason::QueueEmpty);
         let ea: &PingPong = w.get(a).unwrap();

@@ -57,9 +57,7 @@ impl OooBitmap {
     pub fn is_set(&self, offset: u64) -> bool {
         let word = (offset / WORD_BITS) as usize;
         let bit = offset % WORD_BITS;
-        self.words
-            .get(word)
-            .is_some_and(|w| w & (1u64 << bit) != 0)
+        self.words.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
     }
 
     /// The expected packet arrived: consume it plus the contiguous run of

@@ -22,9 +22,10 @@ use netsim::packet::{Packet, PacketKind};
 use netsim::port::EgressPort;
 use netsim::types::{HostId, NodeId, PortId, QpId};
 use netsim::world::{Ctx, Entity};
+use simcore::fx::FxHashMap;
 use simcore::rng::Xoshiro256;
 use simcore::time::{Nanos, TimeDelta};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Timer token kinds (low 3 bits of the token).
 const TIMER_ALPHA: u64 = 0;
@@ -56,8 +57,8 @@ pub struct Nic {
     port: EgressPort,
     send_qps: Vec<SendQp>,
     recv_qps: Vec<RecvQp>,
-    send_index: HashMap<QpId, usize>,
-    recv_index: HashMap<QpId, usize>,
+    send_index: FxHashMap<QpId, usize>,
+    recv_index: FxHashMap<QpId, usize>,
     alpha_armed: Vec<bool>,
     increase_armed: Vec<bool>,
     driver: Option<NodeId>,
@@ -82,8 +83,8 @@ impl Nic {
             port,
             send_qps: Vec::new(),
             recv_qps: Vec::new(),
-            send_index: HashMap::new(),
-            recv_index: HashMap::new(),
+            send_index: FxHashMap::default(),
+            recv_index: FxHashMap::default(),
             alpha_armed: Vec::new(),
             increase_armed: Vec::new(),
             driver: None,
@@ -517,7 +518,12 @@ mod tests {
                 last_delivery: Nanos::ZERO,
             }),
         );
-        Harness { world, a, b, driver }
+        Harness {
+            world,
+            a,
+            b,
+            driver,
+        }
     }
 
     fn post(h: &mut Harness, bytes: u64, tag: u64) {

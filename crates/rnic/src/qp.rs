@@ -519,12 +519,8 @@ impl RecvQp {
             if due {
                 self.last_cnp = Some(now);
                 self.stats.cnps_sent += 1;
-                out.responses.push(Packet::cnp(
-                    self.qp,
-                    self.me,
-                    self.peer,
-                    self.reverse_sport,
-                ));
+                out.responses
+                    .push(Packet::cnp(self.qp, self.me, self.peer, self.reverse_sport));
             }
         }
 
@@ -969,11 +965,20 @@ mod tests {
     fn cnp_paced_by_interval() {
         let mut r = recv_qp(TransportMode::SelectiveRepeat);
         let o0 = r.on_data(0, 0, false, 1000, true, Nanos::from_micros(0));
-        assert!(o0.responses.iter().any(|p| matches!(p.kind, PacketKind::Cnp)));
+        assert!(o0
+            .responses
+            .iter()
+            .any(|p| matches!(p.kind, PacketKind::Cnp)));
         let o1 = r.on_data(1, 0, false, 1000, true, Nanos::from_micros(10));
-        assert!(!o1.responses.iter().any(|p| matches!(p.kind, PacketKind::Cnp)));
+        assert!(!o1
+            .responses
+            .iter()
+            .any(|p| matches!(p.kind, PacketKind::Cnp)));
         let o2 = r.on_data(2, 0, false, 1000, true, Nanos::from_micros(60));
-        assert!(o2.responses.iter().any(|p| matches!(p.kind, PacketKind::Cnp)));
+        assert!(o2
+            .responses
+            .iter()
+            .any(|p| matches!(p.kind, PacketKind::Cnp)));
         assert_eq!(r.stats.cnps_sent, 2);
     }
 

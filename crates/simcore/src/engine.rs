@@ -109,7 +109,11 @@ impl<T> Engine<T> {
     /// them in test builds).
     #[inline]
     pub fn schedule_at(&mut self, at: Nanos, payload: T) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         self.queue.push(at.max(self.now), payload);
     }
 
@@ -135,7 +139,10 @@ impl<T> Engine<T> {
     }
 
     /// Run until a stopping condition, calling `dispatch` for each event.
-    pub fn run_with(&mut self, mut dispatch: impl FnMut(&mut Engine<T>, Scheduled<T>) -> Control) -> StopReason {
+    pub fn run_with(
+        &mut self,
+        mut dispatch: impl FnMut(&mut Engine<T>, Scheduled<T>) -> Control,
+    ) -> StopReason {
         loop {
             if self.dispatched >= self.max_events {
                 return StopReason::EventBudgetExhausted;

@@ -12,7 +12,9 @@
 //!   sequence number, and randomness comes from explicit, per-component
 //!   [`rng::Xoshiro256`] streams derived from a root seed.
 //! * **Throughput.** Figure-5 experiments schedule tens of millions of
-//!   events; the hot path is a binary-heap push/pop of a small POD struct.
+//!   events; the hot path is a paged timer-wheel push/pop of a small POD
+//!   struct (see [`event`]), and hot id-keyed tables use the SipHash-free
+//!   [`fx`] hasher.
 //! * **No global state.** The engine is a plain value owned by the caller;
 //!   there are no thread-locals or singletons, so tests can run many
 //!   simulations in parallel.
@@ -23,11 +25,13 @@
 
 pub mod engine;
 pub mod event;
+pub mod fx;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::Engine;
 pub use event::{EventQueue, Scheduled};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use time::{Nanos, TimeDelta};

@@ -217,7 +217,11 @@ impl LogHistogram {
 
     /// Record one value.
     pub fn record(&mut self, v: u64) {
-        let idx = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        let idx = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += v as u128;
@@ -262,7 +266,11 @@ impl LogHistogram {
             seen += c;
             if seen >= target {
                 // Upper edge of bucket i, clamped to observed max.
-                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 return Some(upper.min(self.max));
             }
         }

@@ -23,7 +23,14 @@ fn main() {
     );
     let mut table = Table::new(
         "Allreduce tail completion time",
-        &["scheme", "ct(ms)", "retx", "nacks@sender", "blocked@tor", "goodput(Gbps)"],
+        &[
+            "scheme",
+            "ct(ms)",
+            "retx",
+            "nacks@sender",
+            "blocked@tor",
+            "goodput(Gbps)",
+        ],
     );
     let mut baseline_ar = None;
     for scheme in [Scheme::Ecmp, Scheme::AdaptiveRouting, Scheme::Themis] {
@@ -42,12 +49,10 @@ fn main() {
         ]);
         if scheme == Scheme::Themis {
             if let (Some(t), Some(ar)) = (r.tail_ct, baseline_ar) {
-                let pct = (ar.as_nanos() as f64 - t.as_nanos() as f64)
-                    / ar.as_nanos() as f64
-                    * 100.0;
-                table.title = format!(
-                    "Allreduce tail completion time (Themis {pct:.1}% faster than AR)"
-                );
+                let pct =
+                    (ar.as_nanos() as f64 - t.as_nanos() as f64) / ar.as_nanos() as f64 * 100.0;
+                table.title =
+                    format!("Allreduce tail completion time (Themis {pct:.1}% faster than AR)");
             }
         }
     }

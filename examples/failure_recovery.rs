@@ -43,9 +43,11 @@ fn main() {
     );
     driver.add_instance(spec);
     cluster.world.install(cluster.driver, Box::new(driver));
-    cluster
-        .world
-        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.seed_event(
+        Nanos::ZERO,
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
 
     let restored = Scheme::Themis.lb_policy();
     for &leaf in &cluster.leaves.clone() {

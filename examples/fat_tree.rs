@@ -52,9 +52,11 @@ fn main() {
         );
         driver.add_instance(spec);
         cluster.world.install(cluster.driver, Box::new(driver));
-        cluster
-            .world
-            .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+        cluster.world.seed_event(
+            Nanos::ZERO,
+            cluster.driver,
+            Event::Timer { token: START_TOKEN },
+        );
         cluster.world.run_until(Nanos::from_secs(2));
 
         let driver: &Driver = cluster.world.get(cluster.driver).unwrap();

@@ -32,8 +32,7 @@ fn main() {
             seed: 77,
             horizon: Nanos::from_secs(5),
         };
-        let (r, cluster) =
-            themis::harness::run_collective_on(&cfg, Collective::Incast, 8 << 20);
+        let (r, cluster) = themis::harness::run_collective_on(&cfg, Collective::Incast, 8 << 20);
         let pauses: u64 = cluster
             .all_switches()
             .iter()
@@ -47,7 +46,9 @@ fn main() {
         println!(
             "{:<10} {:>9.3} {:>8} {:>8} {:>8} {:>8} {:>8}",
             if pfc { "PFC" } else { "lossy" },
-            r.tail_ct.map(|t| t.as_nanos() as f64 / 1e6).unwrap_or(f64::NAN),
+            r.tail_ct
+                .map(|t| t.as_nanos() as f64 / 1e6)
+                .unwrap_or(f64::NAN),
             r.fabric.drops_buffer,
             r.nics.retx_packets,
             r.nics.rto_fires,

@@ -19,9 +19,15 @@ fn print_model(name: &str, m: &MemoryModel) {
     println!("  N_NIC     = {:>8}   (NICs per ToR)", m.n_nic);
     println!("  N_QP      = {:>8}   (cross-rack QPs per NIC)", m.n_qp);
     println!("  ----------------------------------------");
-    println!("  N_entries = {:>8}   (ring PSN queue slots per QP)", m.n_entries());
+    println!(
+        "  N_entries = {:>8}   (ring PSN queue slots per QP)",
+        m.n_entries()
+    );
     println!("  M_PathMap = {:>8} B", m.pathmap_bytes());
-    println!("  M_QP      = {:>8} B  (20 B entry + 1 B/slot)", m.per_qp_bytes());
+    println!(
+        "  M_QP      = {:>8} B  (20 B entry + 1 B/slot)",
+        m.per_qp_bytes()
+    );
     println!(
         "  M_total   = {:>8} B  ≈ {:.0} KB",
         m.total_bytes(),

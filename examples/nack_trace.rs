@@ -20,7 +20,10 @@ fn data(psn: u32) -> Packet {
 }
 
 fn arrive(t: &mut ThemisD, psn: u32) {
-    print!("  data PSN {psn} passes ToR (path {})", psn as usize % N_PATHS);
+    print!(
+        "  data PSN {psn} passes ToR (path {})",
+        psn as usize % N_PATHS
+    );
     match t.on_downstream_data(&data(psn)) {
         Some(comp) => {
             let PacketKind::Nack { epsn, .. } = comp.kind else {
@@ -64,8 +67,8 @@ fn main() {
         arrive(&mut t, psn);
     }
     nack(&mut t, 2); // invalid by Eq.3 -> blocked, BePSN=2 armed
-    // Packet 4 (path 0, same as the missing 2) overtakes: 2 is provably
-    // lost; the ToR generates the NACK the RNIC can no longer send.
+                     // Packet 4 (path 0, same as the missing 2) overtakes: 2 is provably
+                     // lost; the ToR generates the NACK the RNIC can no longer send.
     arrive(&mut t, 4);
     println!(
         "\n  stats: {} blocked, {} compensated, {} cancelled",

@@ -28,7 +28,11 @@ fn main() {
     for scheme in [Scheme::Ecmp, Scheme::SprayNoFilter, Scheme::Themis] {
         let cfg = ExperimentConfig::motivation_small(scheme, 42);
         let r = run_collective(&cfg, Collective::RingOnce, per_flow);
-        assert!(r.all_messages_completed(), "{} did not finish", scheme.label());
+        assert!(
+            r.all_messages_completed(),
+            "{} did not finish",
+            scheme.label()
+        );
         println!(
             "{:<18} {:>9.1} {:>8} {:>12} {:>9} {:>9}",
             scheme.label(),

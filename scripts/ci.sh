@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Tier-1 gate + substrate performance smoke test.
+#
+# Usage: scripts/ci.sh
+#
+# Steps:
+#   1. cargo fmt --check
+#   2. cargo build --release
+#   3. cargo test -q            (tier-1 suite)
+#   4. <30 s substrate smoke benchmark; fails if events_per_sec drops
+#      more than 30 % below the committed BENCH_substrate.json.
+#
+# The gate is relative to the committed JSON (absolute numbers vary by
+# machine); the smoke run uses a scaled-down workload via the
+# THEMIS_BENCH_* knobs, which shifts events/sec only a few percent.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests (tier 1) =="
+cargo test -q
+
+echo "== substrate smoke bench =="
+SMOKE_JSON=$(mktemp /tmp/bench_substrate_smoke.XXXXXX.json)
+trap 'rm -f "$SMOKE_JSON"' EXIT
+THEMIS_BENCH_FABRIC=motivation \
+THEMIS_BENCH_MB=16 \
+THEMIS_BENCH_SWEEP_MB=4 \
+THEMIS_BENCH_BUDGET=1 \
+THEMIS_BENCH_OUT="$SMOKE_JSON" \
+    cargo bench -p themis-bench --bench substrate
+
+# Both files are the flat single-level JSON emitted by
+# themis_bench::harness::write_json (one `"key": value` pair per line),
+# so a line-oriented read is exact, not heuristic.
+read_field() { # read_field FILE KEY
+    awk -F': ' -v key="\"$2\"" '$1 ~ key {gsub(/,/, "", $2); print $2}' "$1"
+}
+
+baseline=$(read_field BENCH_substrate.json events_per_sec)
+current=$(read_field "$SMOKE_JSON" events_per_sec)
+if [ -z "$baseline" ] || [ -z "$current" ]; then
+    echo "FAIL: could not read events_per_sec (baseline='$baseline', current='$current')"
+    exit 1
+fi
+
+echo "events_per_sec: committed=$baseline smoke=$current"
+awk -v b="$baseline" -v c="$current" 'BEGIN {
+    floor = 0.70 * b
+    if (c < floor) {
+        printf "FAIL: events_per_sec %.0f is below the 70%% regression floor %.0f\n", c, floor
+        exit 1
+    }
+    printf "OK: within the 30%% regression budget (floor %.0f)\n", floor
+}'
+
+echo "== ci.sh passed =="

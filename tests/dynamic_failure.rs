@@ -45,9 +45,11 @@ fn flow_survives_mid_run_failure_and_recovery() {
     );
     driver.add_instance(spec);
     cluster.world.install(cluster.driver, Box::new(driver));
-    cluster
-        .world
-        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.seed_event(
+        Nanos::ZERO,
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
 
     // Fail at 300 µs, recover at 700 µs — in the middle of the transfer.
     let restored = Scheme::Themis.lb_policy();
@@ -113,9 +115,11 @@ fn failure_only_episode_degenerates_to_clean_ecmp() {
     let cfg = ExperimentConfig::motivation_small(Scheme::Themis, 47);
     let mut cluster = build_cluster(&cfg.fabric, cfg.nic, cfg.scheme);
     for &leaf in &cluster.leaves.clone() {
-        cluster
-            .world
-            .seed_event(Nanos::ZERO, leaf, Event::Control(ControlMsg::TorLinkFailure));
+        cluster.world.seed_event(
+            Nanos::ZERO,
+            leaf,
+            Event::Control(ControlMsg::TorLinkFailure),
+        );
     }
     let src = cluster.hosts[0];
     let dst = cluster.hosts[cfg.fabric.hosts_per_leaf];

@@ -53,9 +53,11 @@ fn failed_tor_reverts_to_ecmp_and_flow_stays_in_order() {
     );
     driver.add_instance(spec);
     cluster.world.install(cluster.driver, Box::new(driver));
-    cluster
-        .world
-        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.seed_event(
+        Nanos::ZERO,
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
     cluster.world.run_until(cfg.horizon);
 
     let driver: &Driver = cluster.world.get(cluster.driver).expect("driver");
@@ -100,9 +102,11 @@ fn recovery_restores_spraying() {
     );
     driver.add_instance(spec);
     cluster.world.install(cluster.driver, Box::new(driver));
-    cluster
-        .world
-        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.seed_event(
+        Nanos::ZERO,
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
     cluster.world.run_until(cfg.horizon);
 
     let agg = cluster.themis_stats();

@@ -13,8 +13,7 @@ use themis::netsim::switch::Switch;
 #[test]
 fn busy_rnic_flows_never_open_flowlet_gaps() {
     let cfg = ExperimentConfig::motivation_small(Scheme::Flowlet, 23);
-    let (r, cluster) =
-        themis::harness::run_collective_on(&cfg, Collective::RingOnce, 4 << 20);
+    let (r, cluster) = themis::harness::run_collective_on(&cfg, Collective::RingOnce, 4 << 20);
     assert!(r.all_messages_completed());
 
     // In-order delivery: flowlets never split a busy flow across paths.

@@ -34,12 +34,20 @@ fn run_whole_fabric(
     };
     let mut alloc = QpAllocator::new(41);
     let mut driver = Driver::new();
-    let spec = setup_collective(&mut cluster.world, cluster.driver, &hosts, schedule, &mut alloc);
+    let spec = setup_collective(
+        &mut cluster.world,
+        cluster.driver,
+        &hosts,
+        schedule,
+        &mut alloc,
+    );
     driver.add_instance(spec);
     cluster.world.install(cluster.driver, Box::new(driver));
-    cluster
-        .world
-        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.seed_event(
+        Nanos::ZERO,
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
     cluster.world.run_until(cfg.horizon);
     let d: &Driver = cluster.world.get(cluster.driver).unwrap();
     let ct = d
@@ -55,7 +63,9 @@ fn spine_bytes(cluster: &themis::harness::Cluster) -> u64 {
         .iter()
         .map(|&s| {
             let sw: &Switch = cluster.world.get(s).unwrap();
-            (0..sw.num_ports()).map(|p| sw.port(p).stats.tx_bytes).sum::<u64>()
+            (0..sw.num_ports())
+                .map(|p| sw.port(p).stats.tx_bytes)
+                .sum::<u64>()
         })
         .sum()
 }
@@ -96,8 +106,7 @@ fn hierarchical_vs_flat_under_ecmp_collisions() {
     // With fewer, smaller cross-rack flows, hierarchical allreduce is
     // also less exposed to ECMP collisions — both must complete.
     let total = 4u64 << 20;
-    let (_, hier_ct) =
-        run_whole_fabric(Scheme::Ecmp, hierarchical_allreduce(4, 2, total), false);
+    let (_, hier_ct) = run_whole_fabric(Scheme::Ecmp, hierarchical_allreduce(4, 2, total), false);
     let (_, flat_ct) = run_whole_fabric(Scheme::Ecmp, ring_allreduce(8, total), true);
     assert!(hier_ct.is_some() && flat_ct.is_some());
 }

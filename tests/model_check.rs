@@ -77,23 +77,22 @@ fn run_case(order: &[u32], lost: Option<u32>, nack_delay: usize) -> Outcome {
     let mut pending: Vec<(usize, u32)> = Vec::new();
     let mut now = 0u64;
 
-    let deliver_pending = |pending: &mut Vec<(usize, u32)>,
-                               themis: &mut ThemisD,
-                               sender_nacks: &mut Vec<u32>| {
-        let mut rest = Vec::new();
-        for (d, epsn) in pending.drain(..) {
-            if d == 0 {
-                if themis.on_reverse_nack(QpId(1), epsn)
-                    == themis::netsim::hooks::ReverseAction::Forward
-                {
-                    sender_nacks.push(epsn);
+    let deliver_pending =
+        |pending: &mut Vec<(usize, u32)>, themis: &mut ThemisD, sender_nacks: &mut Vec<u32>| {
+            let mut rest = Vec::new();
+            for (d, epsn) in pending.drain(..) {
+                if d == 0 {
+                    if themis.on_reverse_nack(QpId(1), epsn)
+                        == themis::netsim::hooks::ReverseAction::Forward
+                    {
+                        sender_nacks.push(epsn);
+                    }
+                } else {
+                    rest.push((d - 1, epsn));
                 }
-            } else {
-                rest.push((d - 1, epsn));
             }
-        }
-        *pending = rest;
-    };
+            *pending = rest;
+        };
 
     for &psn in order {
         if Some(psn) == lost {
@@ -166,10 +165,7 @@ fn every_observable_loss_is_signalled_exactly_for_its_psn() {
             let ready = if lost == 0 {
                 0
             } else {
-                match (0..arrivals.len())
-                    .filter(|&i| arrivals[i] < lost)
-                    .max()
-                {
+                match (0..arrivals.len()).filter(|&i| arrivals[i] < lost).max() {
                     Some(i) => i + 1,
                     None => 0,
                 }

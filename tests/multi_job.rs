@@ -14,7 +14,10 @@ use themis::simcore::time::Nanos;
 
 /// Job A: 4-rank Allreduce on the even hosts; job B: 4-rank Alltoall on
 /// the odd hosts. Returns (driver-completions, result).
-fn run_two_jobs(scheme: Scheme, bytes: u64) -> (Vec<Option<Nanos>>, themis::harness::ExperimentResult) {
+fn run_two_jobs(
+    scheme: Scheme,
+    bytes: u64,
+) -> (Vec<Option<Nanos>>, themis::harness::ExperimentResult) {
     let cfg = ExperimentConfig::motivation_small(scheme, 61);
     let mut cluster = build_cluster(&cfg.fabric, cfg.nic, cfg.scheme);
     let evens: Vec<HostId> = (0..4).map(|i| HostId(i * 2)).collect();
@@ -38,15 +41,19 @@ fn run_two_jobs(scheme: Scheme, bytes: u64) -> (Vec<Option<Nanos>>, themis::harn
     driver.add_instance(a);
     driver.add_instance(b);
     cluster.world.install(cluster.driver, Box::new(driver));
-    cluster
-        .world
-        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.seed_event(
+        Nanos::ZERO,
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
     cluster.world.run_until(cfg.horizon);
     let d: &Driver = cluster.world.get(cluster.driver).unwrap();
     let completions = d.completions();
     let r = themis::harness::ExperimentResult {
         scheme,
-        tail_ct: d.tail_completion().map(|t| t.since(d.started_at().unwrap())),
+        tail_ct: d
+            .tail_completion()
+            .map(|t| t.since(d.started_at().unwrap())),
         group_cts: vec![],
         fabric: themis::netsim::trace::fabric_summary(&cluster.world, &cluster.all_switches()),
         themis: cluster.themis_stats(),
@@ -84,7 +91,12 @@ fn concurrent_jobs_faster_under_themis_than_unfiltered_spray() {
 
 #[test]
 fn jobs_complete_under_every_scheme() {
-    for scheme in [Scheme::Ecmp, Scheme::AdaptiveRouting, Scheme::Flowlet, Scheme::Themis] {
+    for scheme in [
+        Scheme::Ecmp,
+        Scheme::AdaptiveRouting,
+        Scheme::Flowlet,
+        Scheme::Themis,
+    ] {
         let (completions, r) = run_two_jobs(scheme, 1 << 20);
         assert!(
             completions.iter().all(Option::is_some),

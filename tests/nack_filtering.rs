@@ -60,9 +60,11 @@ fn run_with_drops(
         }
     }
     cluster.world.install(cluster.driver, Box::new(driver));
-    cluster
-        .world
-        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.seed_event(
+        Nanos::ZERO,
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
     cluster.world.run_until(cfg.horizon);
 
     let driver: &Driver = cluster.world.get(cluster.driver).expect("driver");
@@ -90,7 +92,10 @@ fn no_loss_no_retransmissions_under_themis() {
     let (ct, r) = run_with_drops(Scheme::Themis, 8 << 20, &[]);
     assert!(ct.is_some());
     assert_eq!(r.nics.retx_packets, 0);
-    assert!(r.themis.nacks_blocked > 0, "reordering produces blocked NACKs");
+    assert!(
+        r.themis.nacks_blocked > 0,
+        "reordering produces blocked NACKs"
+    );
     assert_eq!(r.themis.nacks_forwarded_valid, 0);
     assert_eq!(r.themis.compensations, 0);
     assert_eq!(r.nics.rto_fires, 0);

@@ -56,9 +56,11 @@ fn run_ring_with_pathset(pathset: Option<Vec<usize>>) -> themis::harness::Cluste
         driver.add_instance(spec);
     }
     cluster.world.install(cluster.driver, Box::new(driver));
-    cluster
-        .world
-        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.seed_event(
+        Nanos::ZERO,
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
     cluster.world.run_until(Nanos::from_secs(2));
     cluster
 }
@@ -116,7 +118,10 @@ fn restricted_pathset_avoids_failed_spines_and_still_filters() {
     // Spraying still reorders over 2 paths and filtering still works at
     // the reduced modulus.
     let agg = cluster.themis_stats();
-    assert!(agg.nacks_blocked > 0, "filtering active at modulus 2: {agg:?}");
+    assert!(
+        agg.nacks_blocked > 0,
+        "filtering active at modulus 2: {agg:?}"
+    );
     let nics = themis::harness::experiment::aggregate_nics(&cluster);
     assert_eq!(nics.retx_packets, 0, "no spurious retransmissions");
 }

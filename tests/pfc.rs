@@ -113,7 +113,14 @@ fn pfc_and_themis_compose_on_ring_traffic() {
     let r = themis::harness::run_collective(&cfg, themis::harness::Collective::RingOnce, 4 << 20);
     assert!(r.all_messages_completed());
     assert_eq!(r.fabric.drops_buffer, 0, "lossless");
-    assert!(r.themis.nacks_blocked > 0, "spraying reorders: {:?}", r.themis);
-    assert_eq!(r.themis.nacks_forwarded_valid, 0, "no loss -> no valid NACK");
+    assert!(
+        r.themis.nacks_blocked > 0,
+        "spraying reorders: {:?}",
+        r.themis
+    );
+    assert_eq!(
+        r.themis.nacks_forwarded_valid, 0,
+        "no loss -> no valid NACK"
+    );
     assert_eq!(r.nics.retx_packets, 0);
 }

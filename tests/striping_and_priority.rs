@@ -37,9 +37,11 @@ fn striped_allreduce_under_themis_stays_clean() {
     );
     driver.add_instance(spec);
     cluster.world.install(cluster.driver, Box::new(driver));
-    cluster
-        .world
-        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.seed_event(
+        Nanos::ZERO,
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
     cluster.world.run_until(cfg.horizon);
 
     let d: &Driver = cluster.world.get(cluster.driver).unwrap();
@@ -76,11 +78,7 @@ fn ctrl_priority_composes_with_themis() {
             seed: 53,
             horizon: Nanos::from_secs(2),
         };
-        let r = themis::harness::run_collective(
-            &cfg,
-            themis::harness::Collective::RingOnce,
-            bytes,
-        );
+        let r = themis::harness::run_collective(&cfg, themis::harness::Collective::RingOnce, bytes);
         assert!(
             r.all_messages_completed(),
             "ctrl_priority={ctrl_priority}: incomplete"
@@ -117,9 +115,11 @@ fn k8_fat_tree_interpod_ring_under_themis() {
     );
     driver.add_instance(spec);
     cluster.world.install(cluster.driver, Box::new(driver));
-    cluster
-        .world
-        .seed_event(Nanos::ZERO, cluster.driver, Event::Timer { token: START_TOKEN });
+    cluster.world.seed_event(
+        Nanos::ZERO,
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
     cluster.world.run_until(Nanos::from_secs(2));
 
     let d: &Driver = cluster.world.get(cluster.driver).unwrap();
