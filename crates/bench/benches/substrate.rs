@@ -205,6 +205,30 @@ fn main() {
         ("sweep_speedup".to_string(), JsonValue::Num(speedup)),
     ]);
 
+    // ---- telemetry hot path ----------------------------------------
+    // The sink is compiled into every cluster, so its overhead is
+    // already inside events_per_sec above; this isolates the raw cost
+    // of the two hot operations (counter inc + histogram observe) so a
+    // registry regression is visible on its own.
+    const TELEM_OPS: u64 = 2_000_000;
+    let telem_m = b
+        .run("substrate/telemetry_inc_observe", "ops", || {
+            let sink = telemetry::Sink::new(64);
+            let c = sink.counter("bench.counter");
+            let h = sink.time_hist("bench.hist", 1_000, 64);
+            for i in 0..TELEM_OPS / 2 {
+                sink.clock().set(i);
+                sink.inc(c);
+                sink.observe(h, i % 1_000);
+            }
+            TELEM_OPS
+        })
+        .clone();
+    fields.push((
+        "telemetry_ops_per_sec".to_string(),
+        JsonValue::Num(telem_m.units_per_sec()),
+    ));
+
     // ---- report -----------------------------------------------------
     let path = out_path();
     write_json(&path, &fields).expect("write BENCH_substrate.json");

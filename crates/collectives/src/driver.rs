@@ -233,6 +233,7 @@ pub const START_TOKEN: u64 = 0;
 pub struct Driver {
     instances: Vec<InstanceState>,
     started_at: Option<Nanos>,
+    telem: Option<(telemetry::Sink, telemetry::HistId)>,
     /// Deliveries received for unknown tags (accounting bug canary).
     pub stray_deliveries: u64,
 }
@@ -249,6 +250,13 @@ impl Driver {
         assert_eq!(spec.qp_of_transfer.len(), spec.schedule.transfers.len());
         self.instances.push(InstanceState::new(spec));
         self.instances.len() - 1
+    }
+
+    /// Install a telemetry handle; each transfer's post → in-order
+    /// delivery latency is observed into `hist` at delivery time (the
+    /// live, time-bucketed counterpart of [`Self::latency_histogram`]).
+    pub fn set_telemetry(&mut self, sink: telemetry::Sink, hist: telemetry::HistId) {
+        self.telem = Some((sink, hist));
     }
 
     /// When the workload was kicked off.
@@ -359,6 +367,11 @@ impl Driver {
         }
         st.delivered[transfer] = true;
         st.delivery_time[transfer] = Some(ctx.now());
+        if let Some((sink, hist)) = &self.telem {
+            if let Some(posted) = st.post_time[transfer] {
+                sink.observe(*hist, ctx.now().since(posted).as_nanos());
+            }
+        }
         st.undelivered -= 1;
         if st.undelivered == 0 {
             st.completion = Some(ctx.now());

@@ -24,6 +24,8 @@
 //! the Table 1 reference values), and [`failure`] implements the §6
 //! link-failure fallback (revert to ECMP).
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod failure;
 pub mod flow_table;
@@ -32,10 +34,12 @@ pub mod middleware;
 pub mod pathmap;
 pub mod policy;
 pub mod psn_queue;
+pub mod telem;
 pub mod themis_d;
 pub mod themis_s;
 
 pub use config::ThemisConfig;
 pub use middleware::ThemisMiddleware;
+pub use telem::ThemisTelem;
 pub use themis_d::ThemisD;
 pub use themis_s::{SprayMode, ThemisS};

@@ -27,6 +27,7 @@ pub struct ThemisMiddleware {
     /// spray-without-filtering ablation.
     pub d: Option<ThemisD>,
     cfg: ThemisConfig,
+    telem: Option<crate::telem::ThemisTelem>,
 }
 
 impl ThemisMiddleware {
@@ -36,7 +37,18 @@ impl ThemisMiddleware {
         let d = cfg
             .filtering
             .then(|| ThemisD::new(cfg.n_paths, cfg.queue_capacity, cfg.compensation));
-        ThemisMiddleware { s, d, cfg }
+        ThemisMiddleware {
+            s,
+            d,
+            cfg,
+            telem: None,
+        }
+    }
+
+    /// Install a telemetry handle; spray-policy and NACK-classification
+    /// counters (and block/compensation events) report into it.
+    pub fn set_telemetry(&mut self, telem: crate::telem::ThemisTelem) {
+        self.telem = Some(telem);
     }
 
     /// The configuration this instance was built from.
@@ -91,7 +103,14 @@ impl TorHook for ThemisMiddleware {
             "direct-egress Themis configured for {} paths but ToR has {n_uplinks} uplinks",
             self.s.n_paths()
         );
-        self.s.spray(pkt)
+        let sprayed_before = self.s.stats.sprayed;
+        let choice = self.s.spray(pkt);
+        if self.s.stats.sprayed > sprayed_before {
+            if let Some(t) = &self.telem {
+                t.on_sprayed();
+            }
+        }
+        choice
     }
 
     fn on_downstream(&mut self, pkt: &Packet, ctx: &mut HookCtx<'_>) {
@@ -101,6 +120,11 @@ impl TorHook for ThemisMiddleware {
         match pkt.kind {
             PacketKind::Data { .. } => {
                 if let Some(comp) = d.on_downstream_data(pkt) {
+                    if let Some(t) = &self.telem {
+                        if let PacketKind::Nack { epsn, .. } = comp.kind {
+                            t.on_nack_compensated(comp.qp.0 as u64, epsn as u64);
+                        }
+                    }
                     ctx.emit.push(comp);
                 }
             }
@@ -114,7 +138,22 @@ impl TorHook for ThemisMiddleware {
             return ReverseAction::Forward;
         };
         match pkt.kind {
-            PacketKind::Nack { epsn, .. } => d.on_reverse_nack(pkt.qp, epsn),
+            PacketKind::Nack { epsn, .. } => {
+                let before = d.stats;
+                let action = d.on_reverse_nack(pkt.qp, epsn);
+                if let Some(t) = &self.telem {
+                    if d.stats.nacks_blocked > before.nacks_blocked {
+                        t.on_nack_blocked(pkt.qp.0 as u64, epsn as u64);
+                    }
+                    if d.stats.nacks_forwarded_valid > before.nacks_forwarded_valid {
+                        t.on_nack_forwarded_valid();
+                    }
+                    if d.stats.nacks_forwarded_unknown > before.nacks_forwarded_unknown {
+                        t.on_nack_forwarded_unknown();
+                    }
+                }
+                action
+            }
             _ => ReverseAction::Forward,
         }
     }
@@ -206,6 +245,39 @@ mod tests {
                 compensated: true
             }
         ));
+    }
+
+    #[test]
+    fn telemetry_counts_classification_verdicts() {
+        let sink = telemetry::Sink::new(16);
+        let mut m = ThemisMiddleware::new(cfg());
+        m.set_telemetry(crate::telem::ThemisTelem::register(&sink));
+        let mut emit = Vec::new();
+
+        let mut up = data(5);
+        m.on_upstream_data(&mut up, 2, &mut hook_ctx(&mut emit));
+        for psn in [0, 1, 3] {
+            m.on_downstream(&data(psn), &mut hook_ctx(&mut emit));
+        }
+        let nack = Packet::nack(QpId(1), HostId(9), HostId(0), 700, 2, false);
+        m.on_reverse(&nack, &mut hook_ctx(&mut emit));
+        m.on_downstream(&data(4), &mut hook_ctx(&mut emit));
+
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter("themis.sprayed"), Some(1));
+        assert_eq!(snap.counter("themis.nacks.blocked"), Some(1));
+        assert_eq!(snap.counter("themis.nacks.compensated"), Some(1));
+        assert_eq!(snap.counter("themis.nacks.forwarded_valid"), Some(0));
+        // Live counters match the ThemisD aggregate.
+        let d = m.d.as_ref().unwrap();
+        assert_eq!(
+            snap.counter("themis.nacks.blocked"),
+            Some(d.stats.nacks_blocked)
+        );
+        let kinds: Vec<&str> = snap.events.ring.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["nack_blocked", "nack_compensated"]);
+        // Both events carry the blocked/compensated ePSN.
+        assert!(snap.events.ring.iter().all(|e| e.arg == 2));
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Themis-side telemetry ids.
+//!
+//! One [`ThemisTelem`] is registered per sink and cloned into every
+//! ToR's [`crate::ThemisMiddleware`], so the counters aggregate the
+//! spray-policy activity and NACK classification verdicts across the
+//! whole fabric. The `themis.nacks.*` counters are the live view of
+//! [`crate::themis_d::ThemisDStats`]; experiments cross-check the two
+//! at snapshot time.
+
+use telemetry::{CounterId, EventKind, Sink};
+
+/// Telemetry handle installed into every [`crate::ThemisMiddleware`].
+#[derive(Debug, Clone)]
+pub struct ThemisTelem {
+    sink: Sink,
+    sprayed: CounterId,
+    nacks_blocked: CounterId,
+    nacks_forwarded_valid: CounterId,
+    nacks_forwarded_unknown: CounterId,
+    nacks_compensated: CounterId,
+}
+
+impl ThemisTelem {
+    /// Register the Themis counter set on `sink`. Idempotent: every ToR
+    /// of a fabric can call this and they all share ids.
+    pub fn register(sink: &Sink) -> ThemisTelem {
+        ThemisTelem {
+            sprayed: sink.counter("themis.sprayed"),
+            nacks_blocked: sink.counter("themis.nacks.blocked"),
+            nacks_forwarded_valid: sink.counter("themis.nacks.forwarded_valid"),
+            nacks_forwarded_unknown: sink.counter("themis.nacks.forwarded_unknown"),
+            nacks_compensated: sink.counter("themis.nacks.compensated"),
+            sink: sink.clone(),
+        }
+    }
+
+    /// Themis-S sprayed a data packet (Eq. 1 path selection applied).
+    #[inline]
+    pub fn on_sprayed(&self) {
+        self.sink.inc(self.sprayed);
+    }
+
+    /// Themis-D classified a NACK as invalid and blocked it (Eq. 3
+    /// mismatch — the triggering packet took a different path).
+    #[inline]
+    pub fn on_nack_blocked(&self, qp: u64, epsn: u64) {
+        self.sink.inc(self.nacks_blocked);
+        self.sink.event(EventKind::NackBlocked, qp, epsn);
+    }
+
+    /// Themis-D classified a NACK as valid and forwarded it.
+    #[inline]
+    pub fn on_nack_forwarded_valid(&self) {
+        self.sink.inc(self.nacks_forwarded_valid);
+    }
+
+    /// Themis-D forwarded a NACK conservatively (no tPSN found).
+    #[inline]
+    pub fn on_nack_forwarded_unknown(&self) {
+        self.sink.inc(self.nacks_forwarded_unknown);
+    }
+
+    /// Themis-D issued a compensating NACK (§3.4) after a same-path
+    /// packet proved a blocked loss real.
+    #[inline]
+    pub fn on_nack_compensated(&self, qp: u64, epsn: u64) {
+        self.sink.inc(self.nacks_compensated);
+        self.sink.event(EventKind::NackCompensated, qp, epsn);
+    }
+}

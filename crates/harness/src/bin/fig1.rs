@@ -1,19 +1,26 @@
 //! Full Figure 1 reproduction binary.
 //!
-//! Usage: `cargo run --release -p themis-harness --bin fig1 [MB_PER_FLOW] [--jobs N]`
+//! Usage:
+//! `cargo run --release -p themis-harness --bin fig1 -- [MB_PER_FLOW] [--jobs N]
+//! [--telemetry out.json] [--trace-last N]`
 //!
 //! Defaults to 25 MB per flow (paper: 100). Prints the Fig 1b and Fig 1c
 //! series for the chosen flow (node 0 → node 2) and the Fig 1d NIC-SR vs
 //! Ideal throughput comparison. `--jobs N` runs the two transport cells
-//! on separate workers; output is identical for any N.
+//! on separate workers; output is identical for any N. `--telemetry`
+//! writes the `nic_sr` and `ideal` run snapshots as a versioned JSON
+//! report; `--trace-last N` dumps the tail of the event ring to stderr
+//! if a run fails to complete (see EXPERIMENTS.md for the contract).
 
 use simcore::time::TimeDelta;
 use themis_harness::fig1::{run_fig1, Fig1Result, Fig1Transport};
 use themis_harness::report::render_ascii_chart;
 use themis_harness::sweep::{take_jobs_arg, SweepRunner};
+use themis_harness::telemetry_out::take_telemetry_args;
 
 fn main() {
-    let (jobs, rest) = take_jobs_arg(std::env::args().skip(1).collect());
+    let (telem, rest) = take_telemetry_args(std::env::args().skip(1).collect());
+    let (jobs, rest) = take_jobs_arg(rest);
     let mb: u64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(25);
     let bytes = mb << 20;
     println!("Figure 1 — motivation experiment ({mb} MB per flow; paper: 100 MB)\n");
@@ -24,6 +31,15 @@ fn main() {
     });
     let ideal = results.pop().expect("two cells");
     let sr = results.pop().expect("two cells");
+
+    let mut report = telemetry::Report::new();
+    report.add_run("nic_sr", sr.telemetry.clone());
+    report.add_run("ideal", ideal.telemetry.clone());
+    telem.write(&report);
+    if !(sr.completed && ideal.completed) {
+        telem.dump_trace("nic_sr", &sr.telemetry);
+        telem.dump_trace("ideal", &ideal.telemetry);
+    }
     assert!(sr.completed && ideal.completed);
 
     println!(

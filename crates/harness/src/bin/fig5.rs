@@ -1,20 +1,25 @@
 //! Full Figure 5 reproduction binary.
 //!
 //! Usage:
-//! `cargo run --release -p themis-harness --bin fig5 [allreduce|alltoall] [MB_PER_GROUP] [--jobs N]`
+//! `cargo run --release -p themis-harness --bin fig5 -- [allreduce|alltoall] [MB_PER_GROUP]
+//! [--jobs N] [--telemetry out.json] [--trace-last N]`
 //!
 //! Defaults to Allreduce at 8 MB per group. The paper's full scale is
 //! 300 MB per group (expect a long run: ~10⁹ simulator events).
 //! `--jobs N` fans the 15 sweep cells over N worker threads; results
-//! are identical for any N.
+//! are identical for any N. `--telemetry` writes one run snapshot per
+//! sweep cell, labelled `ti<TI>_td<TD>/<scheme>`; `--trace-last N`
+//! dumps the event-ring tail of every cell that failed to complete.
 
 use themis_harness::fig5::{improvement_pct, run_fig5_with, Fig5Config};
 use themis_harness::report::{fmt_ms, Table};
 use themis_harness::sweep::{take_jobs_arg, SweepRunner};
+use themis_harness::telemetry_out::take_telemetry_args;
 use themis_harness::{Collective, Scheme};
 
 fn main() {
-    let (jobs, rest) = take_jobs_arg(std::env::args().skip(1).collect());
+    let (telem, rest) = take_telemetry_args(std::env::args().skip(1).collect());
+    let (jobs, rest) = take_jobs_arg(rest);
     let mut args = rest.into_iter();
     let collective = match args.next().as_deref() {
         Some("alltoall") => Collective::Alltoall,
@@ -39,6 +44,18 @@ fn main() {
 
     let cfg = Fig5Config::paper(collective, bytes, 1);
     let points = run_fig5_with(&cfg, SweepRunner::new(jobs));
+
+    if telem.active() {
+        let mut report = telemetry::Report::new();
+        for p in &points {
+            let label = format!("ti{}_td{}/{}", p.ti_us, p.td_us, p.scheme.label());
+            report.add_run(&label, p.result.telemetry.clone());
+            if p.tail_ct.is_none() {
+                telem.dump_trace(&label, &p.result.telemetry);
+            }
+        }
+        telem.write(&report);
+    }
 
     let mut table = Table::new(
         format!(

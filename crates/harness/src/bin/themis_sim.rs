@@ -21,6 +21,9 @@
 //!   --seed N          root seed                             [1]
 //!   --pfc             enable hop-by-hop PFC
 //!   --jobs N          sweep worker threads (sweep command)  [$THEMIS_JOBS or 1]
+//!   --telemetry PATH  write the versioned themis-telemetry JSON report
+//!   --trace-last N    on an incomplete run, dump the last N structured
+//!                     events to stderr
 //! ```
 //!
 //! Examples:
@@ -41,6 +44,7 @@ use themis_harness::report::{fmt_ms, Table};
 use themis_harness::sweep::SweepRunner;
 use themis_harness::{
     run_collective, run_point_to_point, Collective, ExperimentConfig, ExperimentResult, Scheme,
+    TelemetryArgs,
 };
 
 /// Minimal flag parser: `--key value` pairs plus boolean switches.
@@ -84,6 +88,27 @@ impl Args {
 
     fn has(&self, key: &str) -> bool {
         self.flags.contains(key)
+    }
+
+    fn telemetry(&self) -> TelemetryArgs {
+        TelemetryArgs {
+            out: self.kv.get("telemetry").cloned(),
+            trace_last: self.kv.get("trace-last").and_then(|s| s.parse().ok()),
+        }
+    }
+}
+
+/// Write a single-run telemetry report and, on an incomplete run, dump
+/// the event-ring tail — shared by `collective` and `p2p`.
+fn emit_telemetry(telem: &TelemetryArgs, label: &str, r: &ExperimentResult) {
+    if !telem.active() {
+        return;
+    }
+    let mut report = telemetry::Report::new();
+    report.add_run(label, r.telemetry.clone());
+    telem.write(&report);
+    if r.tail_ct.is_none() {
+        telem.dump_trace(label, &r.telemetry);
     }
 }
 
@@ -250,6 +275,7 @@ fn main() {
             } else {
                 print_result(&r, t0.elapsed());
             }
+            emit_telemetry(&args.telemetry(), "collective", &r);
         }
         "p2p" => {
             let cfg = build_config(&args);
@@ -267,6 +293,7 @@ fn main() {
             } else {
                 print_result(&r, t0.elapsed());
             }
+            emit_telemetry(&args.telemetry(), "p2p", &r);
         }
         "sweep" => {
             let collective = parse_collective(&args.str("collective", "allreduce"));
@@ -286,10 +313,23 @@ fn main() {
                 .iter()
                 .flat_map(|&(ti, td)| SCHEMES.iter().map(move |&s| (ti, td, s)))
                 .collect();
-            let cts = SweepRunner::new(jobs).run(&cells, |&(ti, td, scheme)| {
+            let results = SweepRunner::new(jobs).run(&cells, |&(ti, td, scheme)| {
                 let cfg = ExperimentConfig::paper_eval(scheme, ti, td, seed);
-                run_collective(&cfg, collective, bytes).tail_ct
+                run_collective(&cfg, collective, bytes)
             });
+            let telem = args.telemetry();
+            if telem.active() {
+                let mut report = telemetry::Report::new();
+                for ((ti, td, scheme), r) in cells.iter().zip(&results) {
+                    let label = format!("ti{ti}_td{td}/{}", scheme.label());
+                    report.add_run(&label, r.telemetry.clone());
+                    if r.tail_ct.is_none() {
+                        telem.dump_trace(&label, &r.telemetry);
+                    }
+                }
+                telem.write(&report);
+            }
+            let cts: Vec<_> = results.iter().map(|r| r.tail_ct).collect();
             for (point, row) in cells.chunks(SCHEMES.len()).zip(cts.chunks(SCHEMES.len())) {
                 let (ti, td) = (point[0].0, point[0].1);
                 let (e, a, t) = (row[0], row[1], row[2]);

@@ -6,8 +6,13 @@ use netsim::switch::Switch;
 use netsim::topology::{build_leaf_spine, FabricPlan, LeafSpineConfig};
 use netsim::types::{HostId, NodeId};
 use netsim::world::World;
-use rnic::{Nic, NicConfig, TransportMode};
-use themis_core::{ThemisConfig, ThemisMiddleware};
+use rnic::{Nic, NicConfig, NicTelem, TransportMode};
+use themis_core::{ThemisConfig, ThemisMiddleware, ThemisTelem};
+
+/// Event-ring capacity of every cluster's telemetry sink: large enough
+/// to hold the full anomaly tail of a figure run, small enough that the
+/// ring stays cache-resident.
+pub const EVENT_RING_CAPACITY: usize = 4096;
 
 /// Everything needed to run a workload on a simulated cluster.
 pub struct Cluster {
@@ -27,6 +32,8 @@ pub struct Cluster {
     pub scheme: Scheme,
     /// NIC configuration in force.
     pub nic_cfg: NicConfig,
+    /// The telemetry sink every layer of this cluster reports into.
+    pub telemetry: telemetry::Sink,
 }
 
 impl Cluster {
@@ -115,6 +122,18 @@ pub fn build_cluster(fabric_cfg: &LeafSpineConfig, nic_cfg: NicConfig, scheme: S
         n_paths,
     } = build_leaf_spine(&fabric_cfg);
 
+    // Telemetry: one sink per cluster; the engine mirrors its clock into
+    // it so every layer stamps observations with simulated time.
+    let sink = telemetry::Sink::new(EVENT_RING_CAPACITY);
+    world.engine.attach_clock(sink.clock());
+    let switch_telem = netsim::telem::SwitchTelem::register(&sink);
+    for &sw_id in leaves.iter().chain(spines.iter()) {
+        world
+            .get_mut::<Switch>(sw_id)
+            .expect("switch installed by builder")
+            .set_telemetry(switch_telem.clone());
+    }
+
     // Themis middleware on every ToR.
     // Last-hop RTT: 2 × (propagation + one MTU serialization). This is
     // the paper's Table 1 figure (2 µs at 400 Gbps → 100 queue entries).
@@ -139,18 +158,23 @@ pub fn build_cluster(fabric_cfg: &LeafSpineConfig, nic_cfg: NicConfig, scheme: S
         base_themis.queue_capacity
     );
     if let Some(themis_cfg) = scheme.themis_config(base_themis) {
+        let themis_telem = ThemisTelem::register(&sink);
         for &leaf in &leaves {
             let sw = world
                 .get_mut::<Switch>(leaf)
                 .expect("leaf installed by builder");
-            sw.set_hook(Box::new(ThemisMiddleware::new(themis_cfg)));
+            let mut mw = ThemisMiddleware::new(themis_cfg);
+            mw.set_telemetry(themis_telem.clone());
+            sw.set_hook(Box::new(mw));
         }
     }
 
     // NICs.
+    let nic_telem = NicTelem::register(&sink);
     for att in &hosts {
         let port = EgressPort::new(att.tor, att.tor_port, att.link);
-        let nic = Nic::new(att.host, nic_cfg, port);
+        let mut nic = Nic::new(att.host, nic_cfg, port);
+        nic.set_telemetry(nic_telem.clone());
         world.install(att.node, Box::new(nic));
     }
 
@@ -165,6 +189,7 @@ pub fn build_cluster(fabric_cfg: &LeafSpineConfig, nic_cfg: NicConfig, scheme: S
         driver,
         scheme,
         nic_cfg,
+        telemetry: sink,
     }
 }
 

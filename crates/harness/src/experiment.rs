@@ -168,6 +168,9 @@ pub struct ExperimentResult {
     pub msg_latency_p50: Option<TimeDelta>,
     /// 99th-percentile per-transfer latency.
     pub msg_latency_p99: Option<TimeDelta>,
+    /// Full telemetry snapshot: live counters, histograms, the event
+    /// ring, plus snapshot-time `agg.*` / `run.*` exports.
+    pub telemetry: telemetry::RunReport,
 }
 
 impl ExperimentResult {
@@ -225,6 +228,23 @@ sprayed,blocked,forwarded_valid,compensations,msg_p50_us,msg_p99_us,events"
     }
 }
 
+/// Time-bin width of the `collective.msg_latency` histogram (10 ms; 512
+/// bins cover the longest §5 horizon).
+pub const MSG_LATENCY_BIN_NS: u64 = 10_000_000;
+/// Number of time bins of the `collective.msg_latency` histogram.
+pub const MSG_LATENCY_BINS: usize = 512;
+
+/// Wire the driver into the cluster's telemetry sink: each transfer's
+/// post → delivery latency lands in `collective.msg_latency`.
+fn attach_driver_telemetry(driver: &mut Driver, cluster: &Cluster) {
+    let hist = cluster.telemetry.time_hist(
+        "collective.msg_latency",
+        MSG_LATENCY_BIN_NS,
+        MSG_LATENCY_BINS,
+    );
+    driver.set_telemetry(cluster.telemetry.clone(), hist);
+}
+
 /// Sum NIC counters over the cluster.
 pub fn aggregate_nics(cluster: &Cluster) -> NicAggregate {
     let mut agg = NicAggregate::default();
@@ -270,6 +290,7 @@ pub fn run_collective_on(
         );
         driver.add_instance(spec);
     }
+    attach_driver_telemetry(&mut driver, &cluster);
     cluster.world.install(cluster.driver, Box::new(driver));
     cluster.world.seed_event(
         Nanos::ZERO,
@@ -335,6 +356,7 @@ pub fn run_point_to_point(cfg: &ExperimentConfig, bytes: u64) -> ExperimentResul
         &mut alloc,
     );
     driver.add_instance(spec);
+    attach_driver_telemetry(&mut driver, &cluster);
     cluster.world.install(cluster.driver, Box::new(driver));
     cluster.world.seed_event(
         Nanos::ZERO,
@@ -358,18 +380,82 @@ fn collect_result(cfg: &ExperimentConfig, cluster: &Cluster) -> ExperimentResult
         .collect();
     let tail_ct = driver.tail_completion().map(|t| t.since(start));
     let lat = driver.latency_histogram();
-    ExperimentResult {
+    let fabric = fabric_summary(&cluster.world, &cluster.all_switches());
+    let themis = cluster.themis_stats();
+    let nics = aggregate_nics(cluster);
+    let events = cluster.world.engine.dispatched();
+    let sim_end = cluster.world.now();
+    let mut result = ExperimentResult {
         scheme: cfg.scheme,
         tail_ct,
         group_cts,
-        fabric: fabric_summary(&cluster.world, &cluster.all_switches()),
-        themis: cluster.themis_stats(),
-        nics: aggregate_nics(cluster),
-        events: cluster.world.engine.dispatched(),
-        sim_end: cluster.world.now(),
+        fabric,
+        themis,
+        nics,
+        events,
+        sim_end,
         msg_latency_p50: lat.quantile(0.5).map(TimeDelta::from_nanos),
         msg_latency_p99: lat.quantile(0.99).map(TimeDelta::from_nanos),
-    }
+        telemetry: telemetry::RunReport::new(),
+    };
+    result.telemetry = snapshot_telemetry(&result, cluster);
+    result
+}
+
+/// Snapshot the cluster's live telemetry and append the end-of-run
+/// `agg.*` (entity-stat aggregates) and `run.*` (run-level) exports, so
+/// one JSON document carries both views and they can be cross-checked.
+fn snapshot_telemetry(r: &ExperimentResult, cluster: &Cluster) -> telemetry::RunReport {
+    let mut t = cluster.telemetry.snapshot();
+
+    t.push_counter("agg.fabric.rx_packets", r.fabric.rx_packets);
+    t.push_counter("agg.fabric.forwarded", r.fabric.forwarded);
+    t.push_counter("agg.fabric.drops_buffer", r.fabric.drops_buffer);
+    t.push_counter("agg.fabric.drops_targeted", r.fabric.drops_targeted);
+    t.push_counter("agg.fabric.drops_no_route", r.fabric.drops_no_route);
+    t.push_counter("agg.fabric.ecn_marked", r.fabric.ecn_marked);
+    t.push_counter("agg.fabric.hook_blocked", r.fabric.hook_blocked);
+    t.push_counter("agg.fabric.hook_emitted", r.fabric.hook_emitted);
+    t.push_counter("agg.fabric.peak_buffer_bytes", r.fabric.peak_buffer_bytes);
+
+    t.push_counter("agg.themis.sprayed", r.themis.sprayed);
+    t.push_counter("agg.themis.nacks_seen", r.themis.nacks_seen);
+    t.push_counter("agg.themis.nacks_blocked", r.themis.nacks_blocked);
+    t.push_counter(
+        "agg.themis.nacks_forwarded_valid",
+        r.themis.nacks_forwarded_valid,
+    );
+    t.push_counter(
+        "agg.themis.nacks_forwarded_unknown",
+        r.themis.nacks_forwarded_unknown,
+    );
+    t.push_counter("agg.themis.compensations", r.themis.compensations);
+    t.push_counter(
+        "agg.themis.compensation_cancels",
+        r.themis.compensation_cancels,
+    );
+    t.push_counter("agg.themis.memory_bytes", r.themis.memory_bytes);
+
+    t.push_counter("agg.nic.data_packets", r.nics.data_packets);
+    t.push_counter("agg.nic.retx_packets", r.nics.retx_packets);
+    t.push_counter("agg.nic.nacks_received", r.nics.nacks_received);
+    t.push_counter("agg.nic.cnps_received", r.nics.cnps_received);
+    t.push_counter("agg.nic.rto_fires", r.nics.rto_fires);
+    t.push_counter("agg.nic.nacks_sent", r.nics.nacks_sent);
+    t.push_counter("agg.nic.ooo_packets", r.nics.ooo_packets);
+    t.push_counter("agg.nic.dup_packets", r.nics.dup_packets);
+    t.push_counter("agg.nic.bytes_delivered", r.nics.bytes_delivered);
+
+    t.push_counter("run.events", r.events);
+    t.push_counter("run.sim_end_ns", r.sim_end.as_nanos());
+    t.push_gauge("run.goodput_gbps", r.aggregate_goodput_gbps());
+    t.push_gauge(
+        "run.tail_ct_us",
+        r.tail_ct.map_or(-1.0, |c| c.as_micros_f64()),
+    );
+    t.push_gauge("run.retx_ratio", r.nics.retx_ratio());
+    t.sort();
+    t
 }
 
 /// Convenience: the driver entity of a finished cluster.

@@ -9,14 +9,14 @@
 //! the packet on the desired relative path. Programmability is required
 //! only at the ToR, exactly as §3.2 claims.
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, EVENT_RING_CAPACITY};
 use crate::scheme::Scheme;
 use netsim::fat_tree::{build_fat_tree, FatTreeConfig, FatTreePlan, AGG_ECMP_SHIFT};
 use netsim::port::EgressPort;
 use netsim::switch::Switch;
-use rnic::{Nic, NicConfig, TransportMode};
+use rnic::{Nic, NicConfig, NicTelem, TransportMode};
 use themis_core::themis_s::SprayMode;
-use themis_core::{ThemisConfig, ThemisMiddleware};
+use themis_core::{ThemisConfig, ThemisMiddleware, ThemisTelem};
 
 /// Build a fat-tree cluster: fabric per `fabric_cfg`, one NIC per host,
 /// Themis middleware (two-tier PathMap mode) on every edge ToR when the
@@ -46,6 +46,16 @@ pub fn build_fat_tree_cluster(
         n_paths,
         k,
     } = build_fat_tree(&fabric_cfg);
+
+    let sink = telemetry::Sink::new(EVENT_RING_CAPACITY);
+    world.engine.attach_clock(sink.clock());
+    let switch_telem = netsim::telem::SwitchTelem::register(&sink);
+    for &sw_id in edges.iter().chain(aggs.iter()).chain(cores.iter()) {
+        world
+            .get_mut::<Switch>(sw_id)
+            .expect("switch installed by builder")
+            .set_telemetry(switch_telem.clone());
+    }
 
     let m_bits = (k as u32 / 2).trailing_zeros();
     let mtu_ser = simcore::time::TimeDelta::serialization(
@@ -78,15 +88,21 @@ pub fn build_fat_tree_cluster(
         // Direct egress cannot express the full path in 3 tiers; force
         // the two-tier PathMap for every Themis variant.
         themis_cfg.spray_mode = base.spray_mode;
+        let themis_telem = ThemisTelem::register(&sink);
         for &edge in &edges {
             let sw = world.get_mut::<Switch>(edge).expect("edge installed");
-            sw.set_hook(Box::new(ThemisMiddleware::new(themis_cfg)));
+            let mut mw = ThemisMiddleware::new(themis_cfg);
+            mw.set_telemetry(themis_telem.clone());
+            sw.set_hook(Box::new(mw));
         }
     }
 
+    let nic_telem = NicTelem::register(&sink);
     for att in &hosts {
         let port = EgressPort::new(att.tor, att.tor_port, att.link);
-        world.install(att.node, Box::new(Nic::new(att.host, nic_cfg, port)));
+        let mut nic = Nic::new(att.host, nic_cfg, port);
+        nic.set_telemetry(nic_telem.clone());
+        world.install(att.node, Box::new(nic));
     }
     let driver = world.reserve();
 
@@ -101,6 +117,7 @@ pub fn build_fat_tree_cluster(
         driver,
         scheme,
         nic_cfg,
+        telemetry: sink,
     }
 }
 

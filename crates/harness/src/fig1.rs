@@ -55,6 +55,8 @@ pub struct Fig1Result {
     pub retx_packets: u64,
     /// Fabric drops (should be 0: no loss in the motivation setup).
     pub drops: u64,
+    /// Full telemetry snapshot of the run (see DESIGN.md "Observability").
+    pub telemetry: telemetry::RunReport,
 }
 
 /// Run the Fig 1 motivation experiment.
@@ -169,6 +171,15 @@ pub fn run_fig1(
 
     let fabric = netsim::trace::fabric_summary(&cluster.world, &cluster.all_switches());
 
+    let mut telemetry = cluster.telemetry.snapshot();
+    telemetry.push_counter("agg.nic.data_packets", nics.data_packets);
+    telemetry.push_counter("agg.nic.retx_packets", nics.retx_packets);
+    telemetry.push_counter("agg.fabric.drops", fabric.total_drops());
+    telemetry.push_gauge("run.avg_retx_ratio", nics.retx_ratio());
+    telemetry.push_gauge("run.avg_rate_gbps", avg_rate_gbps);
+    telemetry.push_gauge("run.mean_flow_throughput_gbps", mean_flow_throughput_gbps);
+    telemetry.sort();
+
     Fig1Result {
         transport,
         retx_ratio_series,
@@ -180,6 +191,7 @@ pub fn run_fig1(
         data_packets: nics.data_packets,
         retx_packets: nics.retx_packets,
         drops: fabric.total_drops(),
+        telemetry,
     }
 }
 

@@ -12,6 +12,8 @@
 //! * [`report`] — plain-text tables and series for terminal output.
 //! * [`sweep`] — parallel fan-out of independent sweep cells
 //!   (`--jobs N` in the binaries), deterministic in cell order.
+//! * [`telemetry_out`] — `--telemetry` / `--trace-last` CLI plumbing
+//!   shared by the binaries (JSON report writing, event-ring dumps).
 
 pub mod cluster;
 pub mod experiment;
@@ -21,6 +23,7 @@ pub mod fig5;
 pub mod report;
 pub mod scheme;
 pub mod sweep;
+pub mod telemetry_out;
 
 pub use cluster::{build_cluster, Cluster, ThemisAggregate};
 pub use experiment::{
@@ -30,3 +33,4 @@ pub use experiment::{
 pub use fat_tree::build_fat_tree_cluster;
 pub use scheme::Scheme;
 pub use sweep::SweepRunner;
+pub use telemetry_out::{take_telemetry_args, TelemetryArgs};

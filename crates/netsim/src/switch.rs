@@ -129,6 +129,7 @@ pub struct Switch {
     oracle_loss_notify: bool,
     targeted_drops: FxHashSet<(QpId, u32)>,
     tap: Option<Box<dyn crate::trace::PacketTap>>,
+    telem: Option<crate::telem::SwitchTelem>,
     ctrl_priority: bool,
     pfc: Option<PfcConfig>,
     pfc_upstream_paused: bool,
@@ -153,6 +154,7 @@ impl Switch {
             oracle_loss_notify: cfg.oracle_loss_notify,
             targeted_drops: FxHashSet::default(),
             tap: None,
+            telem: None,
             ctrl_priority: cfg.ctrl_priority,
             pfc: cfg.pfc,
             pfc_upstream_paused: false,
@@ -290,6 +292,12 @@ impl Switch {
         self.tap.as_deref()
     }
 
+    /// Install a telemetry handle; drop/ECN/hook counters and drop
+    /// events are reported into it live alongside [`SwitchStats`].
+    pub fn set_telemetry(&mut self, telem: crate::telem::SwitchTelem) {
+        self.telem = Some(telem);
+    }
+
     /// Sum of buffer-full drops across ports plus pool-level drops.
     pub fn total_drops(&self) -> u64 {
         self.stats.drops_buffer + self.stats.drops_targeted + self.stats.drops_no_route
@@ -302,6 +310,9 @@ impl Switch {
         if let PacketKind::Data { psn, .. } = pkt.kind {
             if !self.targeted_drops.is_empty() && self.targeted_drops.remove(&(pkt.qp, psn)) {
                 self.stats.drops_targeted += 1;
+                if let Some(t) = &self.telem {
+                    t.on_targeted_drop(pkt.qp.0 as u64, psn as u64);
+                }
                 self.notify_oracle_loss(&pkt, ctx);
                 return;
             }
@@ -335,6 +346,9 @@ impl Switch {
                     let action = hook.on_reverse(&pkt, &mut hctx);
                     if action == ReverseAction::Block {
                         self.stats.hook_blocked += 1;
+                        if let Some(t) = &self.telem {
+                            t.on_hook_blocked();
+                        }
                         self.flush_emitted(ctx);
                         return;
                     }
@@ -373,18 +387,30 @@ impl Switch {
                         debug_assert!(false, "hook returned out-of-range uplink");
                         0
                     }
-                    None => self.lb.select(
-                        &pkt,
-                        &self.uplinks,
-                        &self.ports,
-                        ctx.now(),
-                        &mut self.lb_state,
-                    ),
+                    None => {
+                        let switches_before = self.lb_state.flowlet_switches;
+                        let idx = self.lb.select(
+                            &pkt,
+                            &self.uplinks,
+                            &self.ports,
+                            ctx.now(),
+                            &mut self.lb_state,
+                        );
+                        if self.lb_state.flowlet_switches > switches_before {
+                            if let Some(t) = &self.telem {
+                                t.on_flowlet_switch(pkt.qp.0 as u64, idx as u64);
+                            }
+                        }
+                        idx
+                    }
                 };
                 self.uplinks[idx]
             }
             RouteEntry::None => {
                 self.stats.drops_no_route += 1;
+                if let Some(t) = &self.telem {
+                    t.on_no_route_drop(pkt.qp.0 as u64);
+                }
                 return;
             }
         };
@@ -404,6 +430,9 @@ impl Switch {
         if let Some(tap) = self.tap.as_mut() {
             tap.on_forward(ctx.now(), &pkt, in_port, PortId(egress as u16));
         }
+        let ecn_before = self.ports[egress].stats.ecn_marked;
+        let qp = pkt.qp.0 as u64;
+        let psn = pkt.data_psn().unwrap_or(0) as u64;
         let outcome = self.ports[egress].enqueue(
             pkt,
             PortId(egress as u16),
@@ -413,9 +442,18 @@ impl Switch {
         );
         if outcome.accepted() {
             self.stats.forwarded += 1;
+            if let Some(t) = &self.telem {
+                let marked = self.ports[egress].stats.ecn_marked - ecn_before;
+                if marked > 0 {
+                    t.on_ecn_marked(marked);
+                }
+            }
             self.check_pfc(ctx);
         } else {
             self.stats.drops_buffer += 1;
+            if let Some(t) = &self.telem {
+                t.on_buffer_drop(qp, psn);
+            }
             self.notify_oracle_loss(&pkt, ctx);
         }
     }
@@ -427,6 +465,9 @@ impl Switch {
             let mut batch = std::mem::take(&mut self.emit_scratch);
             for p in batch.drain(..) {
                 self.stats.hook_emitted += 1;
+                if let Some(t) = &self.telem {
+                    t.on_hook_emitted();
+                }
                 // Hook-originated packets have no real ingress port.
                 self.route_and_enqueue(p, None, false, PortId(u16::MAX), ctx);
             }
@@ -806,6 +847,55 @@ mod tests {
         w.run_until(Nanos::from_millis(1));
         let s: &Sink = w.get(sink).unwrap();
         assert_eq!(s.got.len(), 1);
+    }
+
+    #[test]
+    fn telemetry_mirrors_switch_stats() {
+        let sink = telemetry::Sink::new(8);
+        let mut w = World::new();
+        w.engine.attach_clock(sink.clock());
+        let dst = w.add(Box::new(Sink { got: vec![] }));
+        let mut sw = Switch::new(&SwitchConfig {
+            buffer_bytes: 3_200, // fits ~2 packets of 1500B
+            ..SwitchConfig::default()
+        });
+        sw.add_port(EgressPort::new(dst, PortId(0), LinkSpec::gbps(1, 1)), true);
+        sw.set_route(HostId(1), RouteEntry::Port(0));
+        sw.set_telemetry(crate::telem::SwitchTelem::register(&sink));
+        let swid = w.add(Box::new(sw));
+        for psn in 0..10 {
+            w.seed_event(
+                Nanos(psn as u64),
+                swid,
+                Event::Packet {
+                    pkt: data(0, 1, psn),
+                    in_port: PortId(9),
+                },
+            );
+        }
+        // One packet with no route.
+        w.seed_event(
+            Nanos(100),
+            swid,
+            Event::Packet {
+                pkt: data(0, 55, 0),
+                in_port: PortId(9),
+            },
+        );
+        w.run();
+        let sw: &Switch = w.get(swid).unwrap();
+        let snap = sink.snapshot();
+        assert_eq!(
+            snap.counter("fabric.drops.buffer"),
+            Some(sw.stats.drops_buffer)
+        );
+        assert_eq!(snap.counter("fabric.drops.no_route"), Some(1));
+        // Every drop left a PacketDrop record stamped with simulated time.
+        assert_eq!(
+            snap.events.total,
+            sw.stats.drops_buffer + sw.stats.drops_no_route
+        );
+        assert!(snap.events.ring.iter().all(|e| e.kind == "packet_drop"));
     }
 
     #[test]

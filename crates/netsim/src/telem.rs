@@ -1,0 +1,86 @@
+//! Fabric-side telemetry ids.
+//!
+//! One [`SwitchTelem`] is registered per *sink* (not per switch): every
+//! switch of a fabric shares the same fabric-wide counters, mirroring
+//! how `trace::fabric_summary` aggregates at snapshot time — but live,
+//! so experiments can watch drops and hook activity as they happen and
+//! the event ring captures the exact simulated time of each drop.
+
+use telemetry::{CounterId, EventKind, Sink};
+
+/// Telemetry handle installed into every [`crate::switch::Switch`].
+#[derive(Debug, Clone)]
+pub struct SwitchTelem {
+    sink: Sink,
+    drops_buffer: CounterId,
+    drops_no_route: CounterId,
+    drops_targeted: CounterId,
+    ecn_marked: CounterId,
+    hook_blocked: CounterId,
+    hook_emitted: CounterId,
+    flowlet_switches: CounterId,
+}
+
+impl SwitchTelem {
+    /// Register the fabric counter set on `sink`. Idempotent: every
+    /// switch of a fabric can call this and they all share ids.
+    pub fn register(sink: &Sink) -> SwitchTelem {
+        SwitchTelem {
+            drops_buffer: sink.counter("fabric.drops.buffer"),
+            drops_no_route: sink.counter("fabric.drops.no_route"),
+            drops_targeted: sink.counter("fabric.drops.targeted"),
+            ecn_marked: sink.counter("fabric.ecn_marked"),
+            hook_blocked: sink.counter("fabric.hook_blocked"),
+            hook_emitted: sink.counter("fabric.hook_emitted"),
+            flowlet_switches: sink.counter("fabric.flowlet_switches"),
+            sink: sink.clone(),
+        }
+    }
+
+    /// A data packet was dropped because the shared buffer was full.
+    #[inline]
+    pub fn on_buffer_drop(&self, qp: u64, psn: u64) {
+        self.sink.inc(self.drops_buffer);
+        self.sink.event(EventKind::PacketDrop, qp, psn);
+    }
+
+    /// A packet had no route to its destination.
+    #[inline]
+    pub fn on_no_route_drop(&self, qp: u64) {
+        self.sink.inc(self.drops_no_route);
+        self.sink.event(EventKind::PacketDrop, qp, 0);
+    }
+
+    /// A packet was removed by targeted loss injection.
+    #[inline]
+    pub fn on_targeted_drop(&self, qp: u64, psn: u64) {
+        self.sink.inc(self.drops_targeted);
+        self.sink.event(EventKind::PacketDrop, qp, psn);
+    }
+
+    /// `n` packets were ECN-CE marked on an egress port.
+    #[inline]
+    pub fn on_ecn_marked(&self, n: u64) {
+        self.sink.add(self.ecn_marked, n);
+    }
+
+    /// A ToR hook blocked a reverse-direction packet.
+    #[inline]
+    pub fn on_hook_blocked(&self) {
+        self.sink.inc(self.hook_blocked);
+    }
+
+    /// A ToR hook originated a packet (e.g. a compensated NACK).
+    #[inline]
+    pub fn on_hook_emitted(&self) {
+        self.sink.inc(self.hook_emitted);
+    }
+
+    /// The load balancer placed a flow on a new uplink (flowlet start
+    /// or switch); `arg` is the chosen uplink index.
+    #[inline]
+    pub fn on_flowlet_switch(&self, qp: u64, uplink: u64) {
+        self.sink.inc(self.flowlet_switches);
+        self.sink.event(EventKind::FlowletSwitch, qp, uplink);
+    }
+}

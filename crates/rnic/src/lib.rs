@@ -21,14 +21,18 @@
 //! it owns one port to its ToR, paces each QP at its DCQCN rate, and
 //! arbitrates QPs round-robin at line rate.
 
+#![warn(missing_docs)]
+
 pub mod bitmap;
 pub mod config;
 pub mod dcqcn;
 pub mod nic;
 pub mod psn;
 pub mod qp;
+pub mod telem;
 
 pub use config::{CcConfig, NicConfig, TransportMode};
 pub use dcqcn::Dcqcn;
 pub use nic::Nic;
 pub use psn::{extend24, wire_psn};
+pub use telem::NicTelem;

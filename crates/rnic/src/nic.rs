@@ -66,6 +66,7 @@ pub struct Nic {
     ctrl_queue: VecDeque<Packet>,
     wakeup_at: Option<Nanos>,
     rng: Xoshiro256,
+    telem: Option<crate::telem::NicTelem>,
     /// NIC-level statistics.
     pub stats: NicStats,
 }
@@ -92,6 +93,7 @@ impl Nic {
             ctrl_queue: VecDeque::new(),
             wakeup_at: None,
             rng: Xoshiro256::seeded(cfg.seed ^ (host.0 as u64) << 32),
+            telem: None,
             stats: NicStats::default(),
         }
     }
@@ -99,6 +101,12 @@ impl Nic {
     /// Register the workload driver to receive completion notifications.
     pub fn set_driver(&mut self, driver: NodeId) {
         self.driver = Some(driver);
+    }
+
+    /// Install a telemetry handle; NACK/RTO/rate-cut counters, the
+    /// out-of-order-gap histogram, and their events report into it.
+    pub fn set_telemetry(&mut self, telem: crate::telem::NicTelem) {
+        self.telem = Some(telem);
     }
 
     /// Create the sender half of a connection towards `dst`.
@@ -269,8 +277,22 @@ impl Nic {
             self.stats.unknown_qp += 1;
             return;
         };
+        if let Some(t) = &self.telem {
+            // Out-of-order arrival depth: how far ahead of the expected
+            // PSN this packet landed (0 for in-order arrivals).
+            let epsn = self.recv_qps[i].epsn();
+            let ext = crate::psn::extend24(psn, epsn);
+            if ext > epsn {
+                t.on_ooo_gap(ext - epsn);
+            }
+        }
         let out = self.recv_qps[i].on_data(psn, msg_tag, last, payload, pkt.ecn_ce, ctx.now());
         for resp in out.responses {
+            if let Some(t) = &self.telem {
+                if let PacketKind::Nack { epsn, .. } = resp.kind {
+                    t.on_nack_issued(resp.qp.0 as u64, epsn as u64);
+                }
+            }
             self.ctrl_queue.push_back(resp);
         }
         if let Some(driver) = self.driver {
@@ -293,7 +315,10 @@ impl Nic {
         };
         let now = ctx.now();
         let completed = if nack {
-            let (completed, _cut) = self.send_qps[i].on_nack(epsn, now);
+            let (completed, cut) = self.send_qps[i].on_nack(epsn, now);
+            if cut {
+                self.record_rate_cut(i);
+            }
             completed
         } else {
             self.send_qps[i].on_ack(epsn)
@@ -310,6 +335,13 @@ impl Nic {
             }
         }
         self.arm_cc_timers(i, ctx);
+    }
+
+    fn record_rate_cut(&self, i: usize) {
+        if let Some(t) = &self.telem {
+            let q = &self.send_qps[i];
+            t.on_rate_cut(q.qp.0 as u64, (q.cc.rate_bps() / 1e6) as u64);
+        }
     }
 
     fn on_timer(&mut self, tok: u64, ctx: &mut Ctx<'_>) {
@@ -353,6 +385,9 @@ impl Nic {
                     Some(d) if d <= now => {
                         if self.send_qps[i].has_unacked() {
                             self.send_qps[i].on_rto();
+                            if let Some(t) = &self.telem {
+                                t.on_rto_fired(self.send_qps[i].qp.0 as u64);
+                            }
                             self.arm_rto(i, ctx);
                             self.try_send(ctx);
                         } else {
@@ -414,7 +449,9 @@ impl Entity for Nic {
                     PacketKind::Nack { epsn, .. } => self.on_ack_packet(pkt.qp, epsn, true, ctx),
                     PacketKind::Cnp => {
                         if let Some(&i) = self.send_index.get(&pkt.qp) {
-                            self.send_qps[i].on_cnp(ctx.now());
+                            if self.send_qps[i].on_cnp(ctx.now()) {
+                                self.record_rate_cut(i);
+                            }
                         } else {
                             self.stats.unknown_qp += 1;
                         }

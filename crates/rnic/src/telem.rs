@@ -1,0 +1,66 @@
+//! NIC-side telemetry ids.
+//!
+//! One [`NicTelem`] is registered per sink and cloned into every NIC of
+//! a cluster, so the counters are cluster-wide aggregates (per-QP
+//! detail stays in [`crate::qp::SendQpStats`] / [`crate::qp::RecvQpStats`];
+//! telemetry adds the *when* via time-bucketed histograms and the event
+//! ring).
+
+use telemetry::{CounterId, EventKind, HistId, Sink};
+
+/// Telemetry handle installed into every [`crate::Nic`].
+#[derive(Debug, Clone)]
+pub struct NicTelem {
+    sink: Sink,
+    nacks_issued: CounterId,
+    rto_fired: CounterId,
+    rate_cuts: CounterId,
+    ooo_gap: HistId,
+}
+
+impl NicTelem {
+    /// Time-bin width of the `rnic.ooo_gap` histogram.
+    pub const OOO_GAP_BIN_NS: u64 = 1_000_000; // 1 ms
+    /// Number of time bins of the `rnic.ooo_gap` histogram.
+    pub const OOO_GAP_BINS: usize = 512;
+
+    /// Register the NIC counter set on `sink`. Idempotent: every NIC of
+    /// a cluster can call this and they all share ids.
+    pub fn register(sink: &Sink) -> NicTelem {
+        NicTelem {
+            nacks_issued: sink.counter("rnic.nacks_issued"),
+            rto_fired: sink.counter("rnic.rto_fired"),
+            rate_cuts: sink.counter("rnic.rate_cuts"),
+            ooo_gap: sink.time_hist("rnic.ooo_gap", Self::OOO_GAP_BIN_NS, Self::OOO_GAP_BINS),
+            sink: sink.clone(),
+        }
+    }
+
+    /// A receiver QP generated a NACK for expected PSN `epsn`.
+    #[inline]
+    pub fn on_nack_issued(&self, qp: u64, epsn: u64) {
+        self.sink.inc(self.nacks_issued);
+        self.sink.event(EventKind::NackIssued, qp, epsn);
+    }
+
+    /// A sender QP's retransmission timeout fired.
+    #[inline]
+    pub fn on_rto_fired(&self, qp: u64) {
+        self.sink.inc(self.rto_fired);
+        self.sink.event(EventKind::RtoFired, qp, 0);
+    }
+
+    /// DCQCN cut a sender QP's rate; `rate_mbps` is the new rate.
+    #[inline]
+    pub fn on_rate_cut(&self, qp: u64, rate_mbps: u64) {
+        self.sink.inc(self.rate_cuts);
+        self.sink.event(EventKind::RateChange, qp, rate_mbps);
+    }
+
+    /// A data packet arrived `gap` PSNs ahead of the receiver's expected
+    /// PSN (out-of-order arrival depth).
+    #[inline]
+    pub fn on_ooo_gap(&self, gap: u64) {
+        self.sink.observe(self.ooo_gap, gap);
+    }
+}

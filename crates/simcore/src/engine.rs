@@ -53,6 +53,7 @@ pub struct Engine<T> {
     queue: EventQueue<T>,
     now: Nanos,
     dispatched: u64,
+    clock: Option<telemetry::SharedClock>,
     /// Events at or beyond this time are not dispatched.
     pub horizon: Nanos,
     /// Maximum number of events to dispatch (guard against runaway loops).
@@ -72,9 +73,18 @@ impl<T> Engine<T> {
             queue: EventQueue::new(),
             now: Nanos::ZERO,
             dispatched: 0,
+            clock: None,
             horizon: Nanos::MAX,
             max_events: u64::MAX,
         }
+    }
+
+    /// Mirror the engine clock into a telemetry [`telemetry::SharedClock`]
+    /// after every advance, so instrumented components can stamp metric
+    /// observations without being handed a timestamp explicitly.
+    pub fn attach_clock(&mut self, clock: telemetry::SharedClock) {
+        clock.set(self.now.as_nanos());
+        self.clock = Some(clock);
     }
 
     /// Current simulation time.
@@ -131,6 +141,9 @@ impl<T> Engine<T> {
                 let ev = self.queue.pop().expect("peek/pop mismatch");
                 debug_assert!(ev.at >= self.now, "event queue went backwards");
                 self.now = ev.at;
+                if let Some(clock) = &self.clock {
+                    clock.set(ev.at.as_nanos());
+                }
                 self.dispatched += 1;
                 Some(ev)
             }
@@ -153,6 +166,9 @@ impl<T> Engine<T> {
                 Some(_) => self.queue.pop().expect("peek/pop mismatch"),
             };
             self.now = ev.at;
+            if let Some(clock) = &self.clock {
+                clock.set(ev.at.as_nanos());
+            }
             self.dispatched += 1;
             if let Control::Stop = dispatch(self, ev) {
                 return StopReason::DispatcherStopped;
@@ -177,6 +193,20 @@ mod tests {
         assert_eq!(ev.payload, 1);
         assert_eq!(e.now(), Nanos(100));
         assert!(e.step().is_none());
+    }
+
+    #[test]
+    fn attached_clock_tracks_engine_time() {
+        let mut e: Engine<u32> = Engine::new();
+        let clock = telemetry::SharedClock::new();
+        e.attach_clock(clock.clone());
+        assert_eq!(clock.now(), 0);
+        e.schedule_at(Nanos(75), 1);
+        e.step().unwrap();
+        assert_eq!(clock.now(), 75);
+        e.schedule_at(Nanos(90), 2);
+        e.run_with(|_, _| Control::Continue);
+        assert_eq!(clock.now(), 90);
     }
 
     #[test]

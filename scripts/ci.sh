@@ -7,7 +7,8 @@
 #   1. cargo fmt --check
 #   2. cargo build --release
 #   3. cargo test -q            (tier-1 suite)
-#   4. <30 s substrate smoke benchmark; fails if events_per_sec drops
+#   4. cargo doc --no-deps      (rustdoc warnings denied) + doctests
+#   5. <30 s substrate smoke benchmark; fails if events_per_sec drops
 #      more than 30 % below the committed BENCH_substrate.json.
 #
 # The gate is relative to the committed JSON (absolute numbers vary by
@@ -24,6 +25,12 @@ cargo build --release
 
 echo "== tests (tier 1) =="
 cargo test -q
+
+echo "== docs (rustdoc, warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== doctests =="
+cargo test --workspace --doc -q
 
 echo "== substrate smoke bench =="
 SMOKE_JSON=$(mktemp /tmp/bench_substrate_smoke.XXXXXX.json)

@@ -3,6 +3,7 @@
 //! This is the facade crate of the Themis reproduction. It re-exports the
 //! full workspace so downstream users can depend on a single crate:
 //!
+//! * [`telemetry`] — metric registry, event ring and versioned JSON reports.
 //! * [`simcore`] — deterministic discrete-event simulation engine.
 //! * [`netsim`] — network substrate: links, switches, buffers, ECN, topologies.
 //! * [`rnic`] — commodity RNIC model: NIC-SR / Go-Back-N transports, DCQCN.
@@ -26,5 +27,6 @@ pub use collectives;
 pub use netsim;
 pub use rnic;
 pub use simcore;
+pub use telemetry;
 pub use themis_core;
 pub use themis_harness as harness;

@@ -83,6 +83,7 @@ fn run_with_drops(
         sim_end: cluster.world.now(),
         msg_latency_p50: None,
         msg_latency_p99: None,
+        telemetry: cluster.telemetry.snapshot(),
     };
     (ct, result)
 }
