@@ -124,6 +124,27 @@ mod tests {
     }
 
     #[test]
+    fn restore_clears_pathset_restriction_applied_during_outage() {
+        // §6 partial-failure sequence: restrict the pathset while the
+        // link is degraded, then repair. The repair must restore the full
+        // Eq. 3 modulus on both halves — a leftover restriction would
+        // permanently desync this ToR from the rest of the fabric.
+        let mut sw = tor_with_themis();
+        assert!(apply_pathset_restriction(&mut sw, Some(vec![0])));
+        apply_failure_fallback(&mut sw);
+        assert!(restore_after_repair(&mut sw, LbPolicy::RandomSpray));
+        let m = sw
+            .hook()
+            .unwrap()
+            .as_any()
+            .downcast_ref::<ThemisMiddleware>()
+            .unwrap();
+        assert!(m.s.is_enabled());
+        assert_eq!(m.s.effective_modulus(), 2, "pathset restriction cleared");
+        assert_eq!(m.d.as_ref().unwrap().n_paths(), 2, "Eq. 3 modulus restored");
+    }
+
+    #[test]
     fn pathset_restriction_without_themis_reports_false() {
         let mut sw = Switch::new(&SwitchConfig::default());
         assert!(!apply_pathset_restriction(&mut sw, Some(vec![0])));

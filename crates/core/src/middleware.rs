@@ -75,9 +75,13 @@ impl ThemisMiddleware {
         }
     }
 
-    /// Failure recovered: resume spraying.
+    /// Failure recovered: resume spraying over the full path set. Any
+    /// pathset restriction applied during the outage is cleared — leaving
+    /// it in place would permanently shrink the Eq. 3 modulus and desync
+    /// it from ToRs that never saw the restriction.
     pub fn on_link_recovery(&mut self) {
         self.s.set_enabled(true);
+        self.set_pathset(None);
     }
 
     /// Total switch memory consumed by this ToR's Themis state.
@@ -164,6 +168,10 @@ impl TorHook for ThemisMiddleware {
         } else {
             self.on_link_recovery();
         }
+    }
+
+    fn on_admin_spray(&mut self, enabled: bool) {
+        self.s.set_enabled(enabled);
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -1,0 +1,354 @@
+//! `themis_fuzz` — scenario fuzzer for the protocol-invariant oracle.
+//!
+//! Samples random fault plans and traffic mixes from a root seed, runs
+//! each under the conformance oracle, and on failure greedily shrinks the
+//! fault plan to a minimal reproducer before printing it.
+//!
+//! ```text
+//! USAGE:
+//!   themis_fuzz [OPTIONS]               fuzz --budget cases from --seed
+//!   themis_fuzz --only K [OPTIONS]      re-run (only) case K — repro mode
+//!   themis_fuzz --plan FILE [OPTIONS]   run one case with a fault plan
+//!                                       parsed from FILE (shrinker output)
+//!
+//! OPTIONS:
+//!   --seed N          root seed; case K derives everything from
+//!                     substream(seed, K)                        [3405705229]
+//!   --budget N        number of fuzz cases                      [300]
+//!   --scheme S        scheme under test: themis | themis-pathmap |
+//!                     themis-nocomp | spray-nofilter | ecmp | ar |
+//!                     spray | flowlet                           [themis]
+//!   --collective C    pin the collective (default: sampled per case)
+//!   --kb N            pin the per-group buffer in KB (default: sampled
+//!                     64..=512 per case)
+//!   --max-episodes N  fault episodes per sampled plan            [5]
+//!   --trace-last N    on failure, dump the last N telemetry events
+//!   --keep-going      do not stop at the first failing case
+//! ```
+//!
+//! Every case is bit-reproducible: `--seed S --only K` replays case K
+//! exactly, and the printed minimal plan can be fed back via `--plan`.
+//!
+//! Exit status: 0 when every case is conformant, 1 otherwise.
+
+use simcore::rng::Xoshiro256;
+use simcore::time::Nanos;
+use themis_harness::faults::{FaultEvent, FaultPlan, FaultSpace};
+use themis_harness::oracle::{self, OracleConfig, Violation};
+use themis_harness::{
+    expected_delivered_bytes, planned_transfers, run_collective_with_faults, Collective,
+    ExperimentConfig, ExperimentResult, Scheme, TelemetryArgs,
+};
+
+/// Default root seed: explores ≥ 200 distinct plans with zero violations
+/// (pinned by the CI smoke stage).
+const DEFAULT_SEED: u64 = 0xCAFE_F00D;
+
+/// Collectives a case may draw (everything the runner supports).
+const MENU: [Collective; 6] = [
+    Collective::Allreduce,
+    Collective::Alltoall,
+    Collective::AllGather,
+    Collective::ReduceScatter,
+    Collective::RingOnce,
+    Collective::Incast,
+];
+
+/// Minimal flag parser (same idiom as `themis_sim`).
+struct Args {
+    kv: std::collections::HashMap<String, String>,
+    flags: std::collections::HashSet<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let rest: Vec<String> = std::env::args().skip(1).collect();
+        let mut kv = std::collections::HashMap::new();
+        let mut flags = std::collections::HashSet::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let key = rest[i].trim_start_matches("--").to_string();
+            if i + 1 < rest.len() && !rest[i + 1].starts_with("--") {
+                kv.insert(key, rest[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key);
+                i += 1;
+            }
+        }
+        Args { kv, flags }
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.kv
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.contains(key)
+    }
+}
+
+fn parse_scheme(s: &str) -> Scheme {
+    match s {
+        "ecmp" => Scheme::Ecmp,
+        "ar" | "adaptive" => Scheme::AdaptiveRouting,
+        "spray" | "random" => Scheme::RandomSpray,
+        "flowlet" => Scheme::Flowlet,
+        "themis" => Scheme::Themis,
+        "themis-pathmap" => Scheme::ThemisPathMap,
+        "themis-nocomp" => Scheme::ThemisNoCompensation,
+        "spray-nofilter" => Scheme::SprayNoFilter,
+        other => {
+            eprintln!("unknown scheme '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_collective(s: &str) -> Collective {
+    match s {
+        "allreduce" => Collective::Allreduce,
+        "alltoall" => Collective::Alltoall,
+        "allgather" => Collective::AllGather,
+        "reducescatter" => Collective::ReduceScatter,
+        "ring" => Collective::RingOnce,
+        "incast" => Collective::Incast,
+        other => {
+            eprintln!("unknown collective '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Everything one fuzz case needs to run (and re-run, for shrinking).
+struct Case {
+    cfg: ExperimentConfig,
+    collective: Collective,
+    bytes: u64,
+    plan: FaultPlan,
+    /// The scheme the *oracle* judges against. Normally the run scheme;
+    /// the `THEMIS_FUZZ_BREAK` hook decouples them (see `main`).
+    judge_scheme: Scheme,
+}
+
+impl Case {
+    /// Derive case `k` of `root_seed` — same (seed, k) ⇒ same case.
+    fn derive(root_seed: u64, k: u64, args: &Args, run_scheme: Scheme, judge: Scheme) -> Case {
+        let mut rng = Xoshiro256::substream(root_seed, k);
+        let collective = match args.kv.get("collective") {
+            Some(c) => parse_collective(c),
+            None => MENU[rng.next_below(MENU.len() as u64) as usize],
+        };
+        let kb = match args.kv.get("kb") {
+            Some(v) => v.parse().unwrap_or(256),
+            None => rng.next_range(64, 513),
+        };
+        let bytes = kb << 10;
+        let cfg = ExperimentConfig::motivation_small(run_scheme, rng.next_u64());
+        let space = FaultSpace {
+            n_leaves: cfg.fabric.n_leaves,
+            n_uplinks: cfg.fabric.n_spines,
+            // The motivation workload finishes within a few hundred µs;
+            // episodes landing later are harmless no-ops.
+            horizon: Nanos::from_micros(500),
+            max_episodes: args.get("max-episodes", 5usize),
+            targets: planned_transfers(&cfg, collective, bytes)
+                .into_iter()
+                .map(|(qp, n_psn)| (qp.0, n_psn))
+                .collect(),
+        };
+        let plan = FaultPlan::sample(&mut rng, &space);
+        Case {
+            cfg,
+            collective,
+            bytes,
+            plan,
+            judge_scheme: judge,
+        }
+    }
+
+    /// Oracle expectations for `plan` under this case's scheme.
+    fn oracle_config(&self, plan: &FaultPlan, quiesced: bool) -> OracleConfig {
+        let mut o = OracleConfig::for_scheme(self.judge_scheme).with_expected_bytes(
+            expected_delivered_bytes(&self.cfg, self.collective, self.bytes),
+        );
+        o.quiesced = quiesced;
+        if plan.has_random_loss() || plan.drops_control() {
+            // Lost ACKs/handshakes legitimately leave the RTO as the only
+            // backstop; only deterministic-loss plans pin the bound.
+            o = o.without_rto_bound();
+        }
+        o
+    }
+
+    /// Run with `plan` substituted and report (result, violations).
+    fn run(&self, plan: &FaultPlan) -> (ExperimentResult, Vec<Violation>) {
+        let (result, cluster) =
+            run_collective_with_faults(&self.cfg, self.collective, self.bytes, plan);
+        let quiesced = result.sim_end < self.cfg.horizon;
+        let violations = oracle::check(&cluster, &self.oracle_config(plan, quiesced));
+        (result, violations)
+    }
+}
+
+/// Greedy delta-debugging shrink: drop ever-smaller chunks of the event
+/// list while the oracle still reports *some* violation, down to
+/// 1-minimality. Returns the shrunk plan and how many re-runs it took.
+fn shrink(case: &Case, plan: &FaultPlan) -> (FaultPlan, usize) {
+    let mut events: Vec<FaultEvent> = plan.events.clone();
+    let mut runs = 0usize;
+    let still_fails = |events: &[FaultEvent], runs: &mut usize| {
+        *runs += 1;
+        let candidate = FaultPlan {
+            events: events.to_vec(),
+        };
+        !case.run(&candidate).1.is_empty()
+    };
+    let mut chunk = events.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < events.len() {
+            let end = (start + chunk).min(events.len());
+            let mut candidate = events.clone();
+            candidate.drain(start..end);
+            if still_fails(&candidate, &mut runs) {
+                events = candidate;
+                removed_any = true;
+                // Re-test from the same offset: the next chunk slid here.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    (FaultPlan { events }, runs)
+}
+
+fn report_failure(
+    case: &Case,
+    k: u64,
+    root_seed: u64,
+    result: &ExperimentResult,
+    violations: &[Violation],
+    trace_last: Option<usize>,
+) {
+    eprintln!("\n=== FAILURE: case {k} (seed {root_seed}) ===");
+    eprintln!(
+        "scheme {} collective {} bytes {} plan: {} event(s)",
+        case.cfg.scheme.label(),
+        case.collective.label(),
+        case.bytes,
+        case.plan.len()
+    );
+    for v in violations {
+        eprintln!("  violation {v}");
+    }
+    let (shrunk, runs) = shrink(case, &case.plan);
+    let (_, shrunk_violations) = case.run(&shrunk);
+    eprintln!(
+        "minimal fault plan ({} of {} event(s), {} shrink run(s)):",
+        shrunk.len(),
+        case.plan.len(),
+        runs
+    );
+    eprint!("{}", shrunk.to_text());
+    eprintln!("violations under the minimal plan:");
+    for v in &shrunk_violations {
+        eprintln!("  {v}");
+    }
+    eprintln!("repro: themis_fuzz --seed {root_seed} --only {k}");
+    if let Some(n) = trace_last {
+        let t = TelemetryArgs {
+            out: None,
+            trace_last: Some(n),
+        };
+        t.dump_trace(&format!("fuzz-case-{k}"), &result.telemetry);
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let root_seed = args.get("seed", DEFAULT_SEED);
+    let budget = args.get("budget", 300u64);
+    let scheme = parse_scheme(&args.kv.get("scheme").map_or("themis", |s| s.as_str()));
+    let trace_last: Option<usize> = args.kv.get("trace-last").and_then(|s| s.parse().ok());
+
+    // Fault-seeded builds for the acceptance demo: the run uses a
+    // deliberately weakened scheme while the oracle still judges against
+    // the nominal one, so the weakness must surface as a violation.
+    let run_scheme = match std::env::var("THEMIS_FUZZ_BREAK").as_deref() {
+        Ok("nocomp") => Scheme::ThemisNoCompensation,
+        Ok("nofilter") => Scheme::SprayNoFilter,
+        _ => scheme,
+    };
+
+    // Single-case mode with an explicit plan file (shrinker output).
+    if let Some(path) = args.kv.get("plan") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let plan = FaultPlan::from_text(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        let k = args.get("only", 0u64);
+        let mut case = Case::derive(root_seed, k, &args, run_scheme, scheme);
+        case.plan = plan;
+        let (result, violations) = case.run(&case.plan);
+        if violations.is_empty() {
+            println!(
+                "plan {path}: conformant (sim end {} ns, {} events)",
+                result.sim_end.as_nanos(),
+                result.events
+            );
+        } else {
+            report_failure(&case, k, root_seed, &result, &violations, trace_last);
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let wall = std::time::Instant::now();
+    let (first, last) = match args.kv.get("only") {
+        Some(k) => {
+            let k: u64 = k.parse().unwrap_or(0);
+            (k, k + 1)
+        }
+        None => (0, budget),
+    };
+    let mut distinct = std::collections::HashSet::new();
+    let mut failures = 0u64;
+    let mut cases = 0u64;
+    for k in first..last {
+        let case = Case::derive(root_seed, k, &args, run_scheme, scheme);
+        distinct.insert(case.plan.to_text());
+        cases += 1;
+        let (result, violations) = case.run(&case.plan);
+        if !violations.is_empty() {
+            failures += 1;
+            report_failure(&case, k, root_seed, &result, &violations, trace_last);
+            if !args.has("keep-going") {
+                break;
+            }
+        }
+    }
+    println!(
+        "themis_fuzz: {cases} case(s), {} distinct fault plan(s), {failures} failing, \
+         {:.1}s wall",
+        distinct.len(),
+        wall.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,6 +1,7 @@
 //! Generic experiment runner: a cluster + a collective workload → metrics.
 
 use crate::cluster::{build_cluster, Cluster, ThemisAggregate};
+use crate::faults::FaultPlan;
 use crate::scheme::Scheme;
 use collectives::alltoall::{alltoall, incast};
 use collectives::driver::{setup_collective, Driver, QpAllocator, START_TOKEN};
@@ -275,6 +276,18 @@ pub fn run_collective_on(
     collective: Collective,
     total_bytes: u64,
 ) -> (ExperimentResult, Cluster) {
+    run_collective_with_faults(cfg, collective, total_bytes, &FaultPlan::none())
+}
+
+/// [`run_collective_on`] with a [`FaultPlan`] installed between workload
+/// setup and the run: the faults fire as scheduled simulator events, so
+/// the whole (config, plan) pair replays bit-identically.
+pub fn run_collective_with_faults(
+    cfg: &ExperimentConfig,
+    collective: Collective,
+    total_bytes: u64,
+    plan: &FaultPlan,
+) -> (ExperimentResult, Cluster) {
     let mut cluster = build_cluster(&cfg.fabric, cfg.nic, cfg.scheme);
     let groups = all_groups(cfg.fabric.n_leaves, cfg.fabric.hosts_per_leaf);
     let mut alloc = QpAllocator::new(cfg.seed ^ 0xC0_11EC);
@@ -297,8 +310,57 @@ pub fn run_collective_on(
         cluster.driver,
         Event::Timer { token: START_TOKEN },
     );
+    plan.install(&mut cluster);
     cluster.world.run_until(cfg.horizon);
     (collect_result(cfg, &cluster), cluster)
+}
+
+/// Predict, without running anything, the `(qp, n_psn)` streams
+/// [`run_collective_with_faults`] will create: same group enumeration,
+/// same allocator seed, same per-pair QP dedup as the real setup. `n_psn`
+/// is the total PSN count on the pair across all of its transfers — the
+/// domain a fault sampler can aim targeted drops at.
+pub fn planned_transfers(
+    cfg: &ExperimentConfig,
+    collective: Collective,
+    total_bytes: u64,
+) -> Vec<(netsim::types::QpId, u32)> {
+    use std::collections::HashMap;
+    let groups = all_groups(cfg.fabric.n_leaves, cfg.fabric.hosts_per_leaf);
+    let mut alloc = QpAllocator::new(cfg.seed ^ 0xC0_11EC);
+    let mut psn_of: Vec<(netsim::types::QpId, u32)> = Vec::new();
+    for hosts in &groups {
+        let schedule = collective.schedule(hosts.len(), total_bytes);
+        let mut pair_qp: HashMap<(usize, usize), usize> = HashMap::new();
+        for t in &schedule.transfers {
+            let idx = *pair_qp.entry((t.src, t.dst)).or_insert_with(|| {
+                psn_of.push((alloc.alloc().0, 0));
+                psn_of.len() - 1
+            });
+            psn_of[idx].1 += t.bytes.div_ceil(cfg.nic.mtu_payload as u64).max(1) as u32;
+        }
+    }
+    psn_of
+}
+
+/// Total payload bytes the workload delivers when every transfer
+/// completes (the oracle's exactly-once byte count).
+pub fn expected_delivered_bytes(
+    cfg: &ExperimentConfig,
+    collective: Collective,
+    total_bytes: u64,
+) -> u64 {
+    all_groups(cfg.fabric.n_leaves, cfg.fabric.hosts_per_leaf)
+        .iter()
+        .map(|hosts| {
+            collective
+                .schedule(hosts.len(), total_bytes)
+                .transfers
+                .iter()
+                .map(|t| t.bytes)
+                .sum::<u64>()
+        })
+        .sum()
 }
 
 /// Like [`run_collective_on`], discarding the cluster.

@@ -1,0 +1,702 @@
+//! Deterministic fault-injection scenarios.
+//!
+//! A [`FaultPlan`] is a time-ordered list of fault events scheduled into a
+//! running cluster *through ordinary simulator events*: every fault is a
+//! [`ControlMsg`] seeded at a fixed timestamp (or, for targeted drops, a
+//! one-shot armed before the run). Nothing here consults a wall clock or
+//! an external RNG, so a (seed, plan) pair replays bit-identically — the
+//! property the conformance fuzzer's shrinker depends on.
+//!
+//! Plans come from three places:
+//!
+//! * hand-written scenarios in tests (`FaultPlan { events: vec![...] }`),
+//! * the seeded sampler ([`FaultPlan::sample`]) used by `themis_fuzz`,
+//! * the versioned text form ([`FaultPlan::from_text`]) printed by the
+//!   shrinker so a minimal repro can be pasted back into a run.
+//!
+//! The fault vocabulary mirrors what can actually go wrong under a ToR in
+//! the paper's deployment model: uplink (cable) failure and flapping,
+//! per-uplink delay spikes and random loss, corrupted reverse-path control
+//! traffic (ACK/NACK ICRC failures), operator enable/disable of Themis
+//! mid-run, and the §6 monitor-driven ECMP fallback cycle.
+
+use crate::cluster::Cluster;
+use netsim::event::{ControlMsg, Event};
+use netsim::switch::Switch;
+use netsim::types::QpId;
+use simcore::rng::Xoshiro256;
+use simcore::time::Nanos;
+
+/// One fault, addressed by leaf index (position in `Cluster::leaves`) and,
+/// where relevant, uplink index (0-based within the uplink group, i.e.
+/// path index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Take a leaf uplink down: blackholes data *and* control, like a
+    /// dead cable. Queued packets drain first.
+    UplinkDown {
+        /// Leaf index.
+        leaf: u16,
+        /// Uplink (path) index.
+        uplink: u16,
+    },
+    /// Restore a downed uplink.
+    UplinkUp {
+        /// Leaf index.
+        leaf: u16,
+        /// Uplink (path) index.
+        uplink: u16,
+    },
+    /// Add a fixed latency penalty to one uplink (congestion elsewhere,
+    /// rerouted optics): widens path skew without dropping anything.
+    DelaySpike {
+        /// Leaf index.
+        leaf: u16,
+        /// Uplink (path) index.
+        uplink: u16,
+        /// Extra one-way latency in nanoseconds.
+        extra_ns: u64,
+    },
+    /// Clear a delay spike.
+    DelayClear {
+        /// Leaf index.
+        leaf: u16,
+        /// Uplink (path) index.
+        uplink: u16,
+    },
+    /// Random data-packet loss on one uplink at `rate_ppm` / 1e6.
+    UplinkLoss {
+        /// Leaf index.
+        leaf: u16,
+        /// Uplink (path) index.
+        uplink: u16,
+        /// Loss probability in packets-per-million.
+        rate_ppm: u32,
+    },
+    /// Clear an uplink loss rate.
+    UplinkLossClear {
+        /// Leaf index.
+        leaf: u16,
+        /// Uplink (path) index.
+        uplink: u16,
+    },
+    /// Corrupt reverse-path control (ACK/NACK/CNP) transiting this leaf
+    /// at `rate_ppm` / 1e6 — the lost-ACK regime of §3.4.
+    ReverseCorrupt {
+        /// Leaf index.
+        leaf: u16,
+        /// Drop probability in packets-per-million.
+        rate_ppm: u32,
+    },
+    /// Clear reverse-path corruption at a leaf.
+    ReverseCorruptClear {
+        /// Leaf index.
+        leaf: u16,
+    },
+    /// Operator disables Themis spraying on one ToR mid-run.
+    SprayOff {
+        /// Leaf index.
+        leaf: u16,
+    },
+    /// Operator re-enables Themis spraying.
+    SprayOn {
+        /// Leaf index.
+        leaf: u16,
+    },
+    /// §6 monitor event: the ToR reverts to ECMP and parks its hook.
+    TorFail {
+        /// Leaf index.
+        leaf: u16,
+    },
+    /// §6 monitor event: restore the scheme's LB policy and the hook.
+    TorRecover {
+        /// Leaf index.
+        leaf: u16,
+    },
+    /// Arm a one-shot targeted drop of `(qp, psn)` at this leaf. Armed
+    /// before the run regardless of the event's timestamp (the switch
+    /// consumes it when the packet first transits).
+    TargetedDrop {
+        /// Leaf index.
+        leaf: u16,
+        /// Queue pair whose packet dies.
+        qp: u32,
+        /// PSN of the doomed packet.
+        psn: u32,
+    },
+}
+
+impl Fault {
+    /// Stable lowercase tag used in the v1 text form.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::UplinkDown { .. } => "uplink_down",
+            Fault::UplinkUp { .. } => "uplink_up",
+            Fault::DelaySpike { .. } => "delay_spike",
+            Fault::DelayClear { .. } => "delay_clear",
+            Fault::UplinkLoss { .. } => "uplink_loss",
+            Fault::UplinkLossClear { .. } => "uplink_loss_clear",
+            Fault::ReverseCorrupt { .. } => "reverse_corrupt",
+            Fault::ReverseCorruptClear { .. } => "reverse_corrupt_clear",
+            Fault::SprayOff { .. } => "spray_off",
+            Fault::SprayOn { .. } => "spray_on",
+            Fault::TorFail { .. } => "tor_fail",
+            Fault::TorRecover { .. } => "tor_recover",
+            Fault::TargetedDrop { .. } => "targeted_drop",
+        }
+    }
+
+    /// Whether this fault can destroy packets nondeterministically (from
+    /// the transport's point of view), so an oracle must not insist on
+    /// zero RTOs or exact retransmission counts.
+    pub fn is_random_loss(&self) -> bool {
+        matches!(
+            self,
+            Fault::UplinkLoss { .. } | Fault::ReverseCorrupt { .. } | Fault::UplinkDown { .. }
+        )
+    }
+
+    /// Whether this fault can destroy control packets (ACK/NACK/CNP or
+    /// handshakes), which excuses `nacks_forwarded_unknown` at Themis-D
+    /// and sender RTOs.
+    pub fn drops_control(&self) -> bool {
+        matches!(
+            self,
+            Fault::UplinkDown { .. } | Fault::ReverseCorrupt { .. }
+        )
+    }
+}
+
+/// A fault at a timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulation time the fault takes effect.
+    pub at: Nanos,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// A reproducible fault scenario: events sorted by time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Scheduled fault events.
+    pub events: Vec<FaultEvent>,
+}
+
+/// Header line of the v1 text serialization.
+pub const FAULTPLAN_HEADER_V1: &str = "themis-faultplan v1";
+
+impl FaultPlan {
+    /// The empty plan (a fault-free run).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// True if any event injects probabilistic loss (see
+    /// [`Fault::is_random_loss`]).
+    pub fn has_random_loss(&self) -> bool {
+        self.events.iter().any(|e| e.fault.is_random_loss())
+    }
+
+    /// True if any event can destroy control packets.
+    pub fn drops_control(&self) -> bool {
+        self.events.iter().any(|e| e.fault.drops_control())
+    }
+
+    /// Sort events by (time, text form) for a canonical order.
+    pub fn normalize(&mut self) {
+        self.events
+            .sort_by_key(|e| (e.at.as_nanos(), event_line(e)));
+    }
+
+    /// Schedule every event into the cluster. Uplink indices address
+    /// ports `hosts_per_leaf + uplink` at the leaf; events whose leaf or
+    /// uplink is out of range for this fabric are skipped (a shrunk plan
+    /// must stay installable on smaller topologies).
+    pub fn install(&self, cluster: &mut Cluster) {
+        let hpl = cluster.hosts.len() / cluster.leaves.len().max(1);
+        let n_up = cluster.n_paths;
+        for ev in &self.events {
+            let Some(&node) = cluster.leaves.get(leaf_of(&ev.fault) as usize) else {
+                continue;
+            };
+            let port = |uplink: u16| (hpl + uplink as usize) as u16;
+            let msg = match ev.fault {
+                Fault::UplinkDown { uplink, .. } | Fault::UplinkUp { uplink, .. }
+                    if uplink as usize >= n_up =>
+                {
+                    continue;
+                }
+                Fault::UplinkDown { uplink, .. } => ControlMsg::SetPortDown {
+                    port: port(uplink),
+                    down: true,
+                },
+                Fault::UplinkUp { uplink, .. } => ControlMsg::SetPortDown {
+                    port: port(uplink),
+                    down: false,
+                },
+                Fault::DelaySpike {
+                    uplink, extra_ns, ..
+                } => ControlMsg::SetPortExtraDelay {
+                    port: port(uplink),
+                    extra_ns,
+                },
+                Fault::DelayClear { uplink, .. } => ControlMsg::SetPortExtraDelay {
+                    port: port(uplink),
+                    extra_ns: 0,
+                },
+                Fault::UplinkLoss {
+                    uplink, rate_ppm, ..
+                } => ControlMsg::SetPortLossRate {
+                    port: port(uplink),
+                    rate_ppm,
+                },
+                Fault::UplinkLossClear { uplink, .. } => ControlMsg::SetPortLossRate {
+                    port: port(uplink),
+                    rate_ppm: 0,
+                },
+                Fault::ReverseCorrupt { rate_ppm, .. } => {
+                    ControlMsg::SetReverseCorruptRate { rate_ppm }
+                }
+                Fault::ReverseCorruptClear { .. } => {
+                    ControlMsg::SetReverseCorruptRate { rate_ppm: 0 }
+                }
+                Fault::SprayOff { .. } => ControlMsg::SetSprayEnabled { on: false },
+                Fault::SprayOn { .. } => ControlMsg::SetSprayEnabled { on: true },
+                Fault::TorFail { .. } => ControlMsg::TorLinkFailure,
+                Fault::TorRecover { .. } => ControlMsg::TorLinkRecovery {
+                    lb: cluster.scheme.lb_policy(),
+                },
+                Fault::TargetedDrop { qp, psn, .. } => {
+                    if let Some(sw) = cluster.world.get_mut::<Switch>(node) {
+                        sw.inject_targeted_drop(QpId(qp), psn);
+                    }
+                    continue;
+                }
+            };
+            cluster.world.seed_event(ev.at, node, Event::Control(msg));
+        }
+    }
+
+    /// Serialize to the versioned line format (stable across releases;
+    /// pinned by `tests/golden/faultplan_v1.txt`).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(FAULTPLAN_HEADER_V1);
+        out.push('\n');
+        for ev in &self.events {
+            out.push_str(&event_line(ev));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the v1 text form. Blank lines and `#` comments are ignored.
+    pub fn from_text(text: &str) -> Result<FaultPlan, String> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        match lines.next() {
+            Some(FAULTPLAN_HEADER_V1) => {}
+            Some(h) => return Err(format!("unsupported fault-plan header: {h:?}")),
+            None => return Err("empty fault plan".into()),
+        }
+        let mut events = Vec::new();
+        for line in lines {
+            events.push(parse_event_line(line)?);
+        }
+        Ok(FaultPlan { events })
+    }
+
+    /// Sample a random plan from `space` using only `rng` — the same
+    /// (seed, space) always yields the same plan. Faults come in paired
+    /// *episodes* (inject at `t0`, clear at `t1`), at most one episode per
+    /// resource (kind × leaf × uplink), so every fault is eventually
+    /// cleared and windows never interleave on one resource. Timestamps
+    /// are quantized to microseconds.
+    pub fn sample(rng: &mut Xoshiro256, space: &FaultSpace) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        let mut used: Vec<(u8, u16, u16)> = Vec::new();
+        let n_episodes = rng.next_range(0, space.max_episodes as u64 + 1) as usize;
+        for _ in 0..n_episodes {
+            sample_episode(rng, space, &mut used, &mut plan.events);
+        }
+        plan.normalize();
+        plan
+    }
+}
+
+/// The sampling domain for [`FaultPlan::sample`].
+#[derive(Debug, Clone)]
+pub struct FaultSpace {
+    /// Leaves in the target fabric.
+    pub n_leaves: usize,
+    /// Uplinks (paths) per leaf.
+    pub n_uplinks: usize,
+    /// Run horizon; episodes land inside `[5%, 90%]` of it.
+    pub horizon: Nanos,
+    /// Maximum episodes per plan (actual count is uniform in `0..=max`).
+    pub max_episodes: usize,
+    /// Connections the traffic will use, as `(qp, n_psn)` — lets the
+    /// sampler aim targeted drops at PSNs that will really be sent.
+    pub targets: Vec<(u32, u32)>,
+}
+
+fn leaf_of(f: &Fault) -> u16 {
+    match *f {
+        Fault::UplinkDown { leaf, .. }
+        | Fault::UplinkUp { leaf, .. }
+        | Fault::DelaySpike { leaf, .. }
+        | Fault::DelayClear { leaf, .. }
+        | Fault::UplinkLoss { leaf, .. }
+        | Fault::UplinkLossClear { leaf, .. }
+        | Fault::ReverseCorrupt { leaf, .. }
+        | Fault::ReverseCorruptClear { leaf, .. }
+        | Fault::SprayOff { leaf }
+        | Fault::SprayOn { leaf }
+        | Fault::TorFail { leaf }
+        | Fault::TorRecover { leaf }
+        | Fault::TargetedDrop { leaf, .. } => leaf,
+    }
+}
+
+fn event_line(ev: &FaultEvent) -> String {
+    let t = ev.at.as_nanos();
+    let k = ev.fault.kind();
+    match ev.fault {
+        Fault::UplinkDown { leaf, uplink }
+        | Fault::UplinkUp { leaf, uplink }
+        | Fault::DelayClear { leaf, uplink }
+        | Fault::UplinkLossClear { leaf, uplink } => {
+            format!("at={t} kind={k} leaf={leaf} uplink={uplink}")
+        }
+        Fault::DelaySpike {
+            leaf,
+            uplink,
+            extra_ns,
+        } => format!("at={t} kind={k} leaf={leaf} uplink={uplink} extra_ns={extra_ns}"),
+        Fault::UplinkLoss {
+            leaf,
+            uplink,
+            rate_ppm,
+        } => format!("at={t} kind={k} leaf={leaf} uplink={uplink} rate_ppm={rate_ppm}"),
+        Fault::ReverseCorrupt { leaf, rate_ppm } => {
+            format!("at={t} kind={k} leaf={leaf} rate_ppm={rate_ppm}")
+        }
+        Fault::ReverseCorruptClear { leaf }
+        | Fault::SprayOff { leaf }
+        | Fault::SprayOn { leaf }
+        | Fault::TorFail { leaf }
+        | Fault::TorRecover { leaf } => format!("at={t} kind={k} leaf={leaf}"),
+        Fault::TargetedDrop { leaf, qp, psn } => {
+            format!("at={t} kind={k} leaf={leaf} qp={qp} psn={psn}")
+        }
+    }
+}
+
+fn parse_event_line(line: &str) -> Result<FaultEvent, String> {
+    let mut at: Option<u64> = None;
+    let mut kind: Option<&str> = None;
+    let mut fields: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    for tok in line.split_whitespace() {
+        let (key, val) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("bad token {tok:?} in {line:?}"))?;
+        match key {
+            "kind" => kind = Some(val),
+            _ => {
+                let n: u64 = val
+                    .parse()
+                    .map_err(|_| format!("bad value {val:?} for {key} in {line:?}"))?;
+                if key == "at" {
+                    at = Some(n);
+                } else {
+                    fields.insert(key, n);
+                }
+            }
+        }
+    }
+    let at = Nanos(at.ok_or_else(|| format!("missing at= in {line:?}"))?);
+    let kind = kind.ok_or_else(|| format!("missing kind= in {line:?}"))?;
+    let get = |k: &str| -> Result<u64, String> {
+        fields
+            .get(k)
+            .copied()
+            .ok_or_else(|| format!("missing {k}= in {line:?}"))
+    };
+    let leaf = get("leaf")? as u16;
+    let fault = match kind {
+        "uplink_down" => Fault::UplinkDown {
+            leaf,
+            uplink: get("uplink")? as u16,
+        },
+        "uplink_up" => Fault::UplinkUp {
+            leaf,
+            uplink: get("uplink")? as u16,
+        },
+        "delay_spike" => Fault::DelaySpike {
+            leaf,
+            uplink: get("uplink")? as u16,
+            extra_ns: get("extra_ns")?,
+        },
+        "delay_clear" => Fault::DelayClear {
+            leaf,
+            uplink: get("uplink")? as u16,
+        },
+        "uplink_loss" => Fault::UplinkLoss {
+            leaf,
+            uplink: get("uplink")? as u16,
+            rate_ppm: get("rate_ppm")? as u32,
+        },
+        "uplink_loss_clear" => Fault::UplinkLossClear {
+            leaf,
+            uplink: get("uplink")? as u16,
+        },
+        "reverse_corrupt" => Fault::ReverseCorrupt {
+            leaf,
+            rate_ppm: get("rate_ppm")? as u32,
+        },
+        "reverse_corrupt_clear" => Fault::ReverseCorruptClear { leaf },
+        "spray_off" => Fault::SprayOff { leaf },
+        "spray_on" => Fault::SprayOn { leaf },
+        "tor_fail" => Fault::TorFail { leaf },
+        "tor_recover" => Fault::TorRecover { leaf },
+        "targeted_drop" => Fault::TargetedDrop {
+            leaf,
+            qp: get("qp")? as u32,
+            psn: get("psn")? as u32,
+        },
+        other => return Err(format!("unknown fault kind {other:?}")),
+    };
+    Ok(FaultEvent { at, fault })
+}
+
+/// Episode classes the sampler draws from (weights in `sample_episode`).
+const EPISODE_CLASSES: u8 = 7;
+
+fn sample_episode(
+    rng: &mut Xoshiro256,
+    space: &FaultSpace,
+    used: &mut Vec<(u8, u16, u16)>,
+    out: &mut Vec<FaultEvent>,
+) {
+    let class = rng.next_below(EPISODE_CLASSES as u64) as u8;
+    let leaf = rng.next_below(space.n_leaves.max(1) as u64) as u16;
+    let uplink = rng.next_below(space.n_uplinks.max(1) as u64) as u16;
+    let key = (class, leaf, uplink);
+    if used.contains(&key) {
+        return; // one episode per resource; fewer faults, never overlap
+    }
+    used.push(key);
+
+    // Window inside [5%, 90%] of the horizon, quantized to µs.
+    let h_us = space.horizon.as_nanos() / 1_000;
+    let lo = h_us / 20;
+    let hi = h_us * 9 / 10;
+    if lo + 2 >= hi {
+        return;
+    }
+    let t0 = rng.next_range(lo, hi - 1);
+    let t1 = rng.next_range(t0 + 1, hi);
+    let (t0, t1) = (Nanos(t0 * 1_000), Nanos(t1 * 1_000));
+
+    match class {
+        0 => {
+            // Uplink down/up — possibly flapping (1–3 sub-windows).
+            let flaps = rng.next_range(1, 4);
+            let span = (t1.as_nanos() - t0.as_nanos()) / flaps;
+            for i in 0..flaps {
+                let s = Nanos(t0.as_nanos() + i * span);
+                let e = Nanos(s.as_nanos() + span / 2 + 1_000);
+                out.push(FaultEvent {
+                    at: s,
+                    fault: Fault::UplinkDown { leaf, uplink },
+                });
+                out.push(FaultEvent {
+                    at: e,
+                    fault: Fault::UplinkUp { leaf, uplink },
+                });
+            }
+        }
+        1 => {
+            // Delay spike: 1–40 µs of extra one-way latency.
+            let extra_ns = rng.next_range(1, 41) * 1_000;
+            out.push(FaultEvent {
+                at: t0,
+                fault: Fault::DelaySpike {
+                    leaf,
+                    uplink,
+                    extra_ns,
+                },
+            });
+            out.push(FaultEvent {
+                at: t1,
+                fault: Fault::DelayClear { leaf, uplink },
+            });
+        }
+        2 => {
+            // Random uplink loss: 100 ppm – 5%.
+            let rate_ppm = rng.next_range(100, 50_001) as u32;
+            out.push(FaultEvent {
+                at: t0,
+                fault: Fault::UplinkLoss {
+                    leaf,
+                    uplink,
+                    rate_ppm,
+                },
+            });
+            out.push(FaultEvent {
+                at: t1,
+                fault: Fault::UplinkLossClear { leaf, uplink },
+            });
+        }
+        3 => {
+            // Reverse-path control corruption: 100 ppm – 2%.
+            let rate_ppm = rng.next_range(100, 20_001) as u32;
+            out.push(FaultEvent {
+                at: t0,
+                fault: Fault::ReverseCorrupt { leaf, rate_ppm },
+            });
+            out.push(FaultEvent {
+                at: t1,
+                fault: Fault::ReverseCorruptClear { leaf },
+            });
+        }
+        4 => {
+            // Operator toggles Themis off/on.
+            out.push(FaultEvent {
+                at: t0,
+                fault: Fault::SprayOff { leaf },
+            });
+            out.push(FaultEvent {
+                at: t1,
+                fault: Fault::SprayOn { leaf },
+            });
+        }
+        5 => {
+            // §6 failure-monitor fallback cycle.
+            out.push(FaultEvent {
+                at: t0,
+                fault: Fault::TorFail { leaf },
+            });
+            out.push(FaultEvent {
+                at: t1,
+                fault: Fault::TorRecover { leaf },
+            });
+        }
+        _ => {
+            // Targeted drops: 1–4 distinct (qp, psn) kills. PSNs stay
+            // clear of the message tail so a same-path successor exists
+            // to prove the loss (Eq. 3 evidence for compensation).
+            if space.targets.is_empty() {
+                return;
+            }
+            let kills = rng.next_range(1, 5);
+            for _ in 0..kills {
+                let (qp, n_psn) =
+                    space.targets[rng.next_below(space.targets.len() as u64) as usize];
+                let margin = 4 * space.n_uplinks.max(1) as u32;
+                if n_psn <= margin + 1 {
+                    continue;
+                }
+                let psn = rng.next_below((n_psn - margin) as u64) as u32;
+                out.push(FaultEvent {
+                    at: Nanos::ZERO,
+                    fault: Fault::TargetedDrop { leaf, qp, psn },
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan(seed: u64) -> FaultPlan {
+        let mut rng = Xoshiro256::seeded(seed);
+        let space = FaultSpace {
+            n_leaves: 4,
+            n_uplinks: 2,
+            horizon: Nanos::from_millis(10),
+            max_episodes: 6,
+            targets: vec![(1, 900), (2, 900)],
+        };
+        FaultPlan::sample(&mut rng, &space)
+    }
+
+    #[test]
+    fn text_roundtrip_is_lossless() {
+        for seed in 0..50 {
+            let plan = sample_plan(seed);
+            let parsed = FaultPlan::from_text(&plan.to_text()).unwrap();
+            assert_eq!(plan, parsed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        assert_eq!(sample_plan(42), sample_plan(42));
+    }
+
+    #[test]
+    fn every_injection_is_paired_with_a_clear() {
+        for seed in 0..100 {
+            let plan = sample_plan(seed);
+            for ev in &plan.events {
+                let pair = |clear: &dyn Fn(&Fault) -> bool| {
+                    assert!(
+                        plan.events.iter().any(|e| e.at > ev.at && clear(&e.fault)),
+                        "unpaired {:?} (seed {seed})",
+                        ev.fault
+                    );
+                };
+                match ev.fault {
+                    Fault::UplinkDown { leaf, uplink } => {
+                        pair(&|f| *f == Fault::UplinkUp { leaf, uplink })
+                    }
+                    Fault::DelaySpike { leaf, uplink, .. } => {
+                        pair(&|f| *f == Fault::DelayClear { leaf, uplink })
+                    }
+                    Fault::UplinkLoss { leaf, uplink, .. } => {
+                        pair(&|f| *f == Fault::UplinkLossClear { leaf, uplink })
+                    }
+                    Fault::ReverseCorrupt { leaf, .. } => {
+                        pair(&|f| *f == Fault::ReverseCorruptClear { leaf })
+                    }
+                    Fault::SprayOff { leaf } => pair(&|f| *f == Fault::SprayOn { leaf }),
+                    Fault::TorFail { leaf } => pair(&|f| *f == Fault::TorRecover { leaf }),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header_and_bad_lines() {
+        assert!(FaultPlan::from_text("").is_err());
+        assert!(FaultPlan::from_text("themis-faultplan v9\n").is_err());
+        let bad = format!("{FAULTPLAN_HEADER_V1}\nat=1 kind=warp_core_breach leaf=0\n");
+        assert!(FaultPlan::from_text(&bad).is_err());
+        let missing = format!("{FAULTPLAN_HEADER_V1}\nkind=tor_fail leaf=0\n");
+        assert!(FaultPlan::from_text(&missing).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = format!("{FAULTPLAN_HEADER_V1}\n\n# a comment\nat=5000 kind=spray_off leaf=1\n");
+        let plan = FaultPlan::from_text(&text).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.events[0].fault, Fault::SprayOff { leaf: 1 });
+    }
+}

@@ -7,6 +7,10 @@
 //! * [`cluster`] — fabric + NICs + Themis middleware assembly.
 //! * [`experiment`] — generic collective runner and the metrics bundle.
 //! * [`fat_tree`] — 3-tier Clos clusters with two-tier PathMap Themis.
+//! * [`faults`] — deterministic fault-injection scenarios ([`FaultPlan`])
+//!   scheduled through ordinary simulator events.
+//! * [`oracle`] — the trace-driven protocol-invariant oracle every run
+//!   can be audited against.
 //! * [`fig1`] — the §2.2 motivation experiment (Fig 1b/1c/1d).
 //! * [`fig5`] — the §5 DCQCN-sweep evaluation (Fig 5a/5b).
 //! * [`report`] — plain-text tables and series for terminal output.
@@ -18,8 +22,10 @@
 pub mod cluster;
 pub mod experiment;
 pub mod fat_tree;
+pub mod faults;
 pub mod fig1;
 pub mod fig5;
+pub mod oracle;
 pub mod report;
 pub mod scheme;
 pub mod sweep;
@@ -27,10 +33,13 @@ pub mod telemetry_out;
 
 pub use cluster::{build_cluster, Cluster, ThemisAggregate};
 pub use experiment::{
-    run_collective, run_collective_on, run_point_to_point, run_seed_sweep, Collective,
-    ExperimentConfig, ExperimentResult, NicAggregate,
+    expected_delivered_bytes, planned_transfers, run_collective, run_collective_on,
+    run_collective_with_faults, run_point_to_point, run_seed_sweep, Collective, ExperimentConfig,
+    ExperimentResult, NicAggregate,
 };
 pub use fat_tree::build_fat_tree_cluster;
+pub use faults::{Fault, FaultEvent, FaultPlan, FaultSpace};
+pub use oracle::{assert_conformant, OracleConfig, OracleReport, Violation};
 pub use scheme::Scheme;
 pub use sweep::SweepRunner;
 pub use telemetry_out::{take_telemetry_args, TelemetryArgs};

@@ -101,6 +101,54 @@ pub enum ControlMsg {
         /// Policy to restore on the uplink group.
         lb: crate::lb::LbPolicy,
     },
+    /// Fault injection (switch): administratively take egress port `port`
+    /// down (or bring it back up). A down port blackholes everything
+    /// offered to it — data and control alike — as a dead cable would;
+    /// packets already queued behind the port drain normally.
+    SetPortDown {
+        /// Egress-port index at the addressed switch.
+        port: u16,
+        /// True = down (blackhole), false = restore.
+        down: bool,
+    },
+    /// Fault injection (switch): random data-packet loss on egress `port`
+    /// at the given rate in parts per million (integer so the message
+    /// stays `Copy + Eq`); 0 clears the fault.
+    SetPortLossRate {
+        /// Egress-port index at the addressed switch.
+        port: u16,
+        /// Loss probability in packets-per-million.
+        rate_ppm: u32,
+    },
+    /// Fault injection (switch): add `extra_ns` of one-way propagation
+    /// delay on egress `port` (a delay-jitter spike); 0 clears it.
+    SetPortExtraDelay {
+        /// Egress-port index at the addressed switch.
+        port: u16,
+        /// Additional propagation delay in nanoseconds.
+        extra_ns: u64,
+    },
+    /// Fault injection (switch): drop reverse-direction packets
+    /// (ACK/NACK/CNP) traversing the addressed switch with the given
+    /// probability in parts per million — models corruption loss on the
+    /// reverse path; 0 clears the fault.
+    SetReverseCorruptRate {
+        /// Drop probability in packets-per-million.
+        rate_ppm: u32,
+    },
+    /// Administrative mid-run toggle of the ToR hook's spraying (Themis
+    /// enable/disable), independent of the link-failure fallback path.
+    SetSprayEnabled {
+        /// True = spraying active.
+        on: bool,
+    },
+    /// Fault injection (NIC): discard received ACK/NACK/CNP packets with
+    /// the given probability in parts per million — models receive-path
+    /// corruption at the RNIC; 0 clears the fault.
+    SetRxCorruptRate {
+        /// Discard probability in packets-per-million.
+        rate_ppm: u32,
+    },
 }
 
 #[cfg(test)]

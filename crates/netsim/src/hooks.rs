@@ -74,6 +74,11 @@ pub trait TorHook {
     /// per the §6 monitoring integration. Default: ignore.
     fn on_link_event(&mut self, _failed: bool) {}
 
+    /// Administrative mid-run toggle of the hook's spraying (operator
+    /// enabling/disabling Themis on a live ToR), distinct from the
+    /// link-failure fallback. Default: ignore.
+    fn on_admin_spray(&mut self, _enabled: bool) {}
+
     /// Downcast support for stats extraction.
     fn as_any(&self) -> &dyn Any;
 

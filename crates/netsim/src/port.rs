@@ -184,6 +184,13 @@ pub struct EgressPort {
     pub ecn: Option<EcnConfig>,
     /// Probability of dropping each enqueued packet (loss injection).
     pub loss_rate: f64,
+    /// Administratively down (fault injection): every packet offered to
+    /// the port — data and control alike — is dropped, as on a dead
+    /// cable. Packets already queued drain normally.
+    pub down: bool,
+    /// Extra one-way propagation delay added on top of the link latency
+    /// (fault injection: delay-jitter spikes).
+    pub extra_delay: TimeDelta,
     /// Strict priority for control packets (ACK/NACK/CNP/handshake):
     /// they queue separately and always transmit before data, as RoCE
     /// deployments configure for CNPs. Off by default.
@@ -206,6 +213,8 @@ impl EgressPort {
             link,
             ecn: None,
             loss_rate: 0.0,
+            down: false,
+            extra_delay: TimeDelta::ZERO,
             ctrl_priority: false,
             stats: PortStats::default(),
             queue: VecDeque::new(),
@@ -277,6 +286,10 @@ impl EgressPort {
         shared: Option<&mut SharedBuffer>,
         rng: &mut Xoshiro256,
     ) -> EnqueueOutcome {
+        if self.down {
+            self.stats.drops_injected += 1;
+            return EnqueueOutcome::DroppedInjected;
+        }
         if self.loss_rate > 0.0 && pkt.is_data() && rng.next_bool(self.loss_rate) {
             self.stats.drops_injected += 1;
             return EnqueueOutcome::DroppedInjected;
@@ -337,7 +350,12 @@ impl EgressPort {
         }
         self.stats.tx_packets += 1;
         self.stats.tx_bytes += pkt.wire_bytes as u64;
-        ctx.send_packet(self.peer, self.peer_in_port, pkt, self.link.latency);
+        ctx.send_packet(
+            self.peer,
+            self.peer_in_port,
+            pkt,
+            self.link.latency + self.extra_delay,
+        );
         if !self.paused {
             if let Some(next) = self.pop_next() {
                 self.start_tx(next, self_port, ctx);

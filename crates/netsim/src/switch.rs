@@ -14,11 +14,13 @@ use crate::event::{ControlMsg, Event};
 use crate::hooks::{HookCtx, ReverseAction, TorHook};
 use crate::lb::{LbPolicy, LbState};
 use crate::packet::{Packet, PacketKind};
-use crate::port::{EcnConfig, EgressPort, SharedBuffer};
+use crate::port::{EcnConfig, EgressPort, EnqueueOutcome, SharedBuffer};
+use crate::trace::{DropCause, DropRecord};
 use crate::types::{HostId, NodeId, PortId, QpId};
 use crate::world::{Ctx, Entity};
 use simcore::fx::FxHashSet;
 use simcore::rng::Xoshiro256;
+use simcore::time::TimeDelta;
 
 /// Per-destination routing decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +130,8 @@ pub struct Switch {
     rng: Xoshiro256,
     oracle_loss_notify: bool,
     targeted_drops: FxHashSet<(QpId, u32)>,
+    reverse_corrupt_ppm: u32,
+    drop_log: Vec<DropRecord>,
     tap: Option<Box<dyn crate::trace::PacketTap>>,
     telem: Option<crate::telem::SwitchTelem>,
     ctrl_priority: bool,
@@ -153,6 +157,8 @@ impl Switch {
             rng: Xoshiro256::seeded(cfg.seed),
             oracle_loss_notify: cfg.oracle_loss_notify,
             targeted_drops: FxHashSet::default(),
+            reverse_corrupt_ppm: 0,
+            drop_log: Vec::new(),
             tap: None,
             telem: None,
             ctrl_priority: cfg.ctrl_priority,
@@ -251,6 +257,43 @@ impl Switch {
         self.ports[idx].loss_rate = rate;
     }
 
+    /// Administratively take port `idx` down (blackhole) or up.
+    pub fn set_port_down(&mut self, idx: usize, down: bool) {
+        self.ports[idx].down = down;
+    }
+
+    /// Add extra propagation delay on port `idx` (delay-jitter spike).
+    pub fn set_port_extra_delay(&mut self, idx: usize, extra: TimeDelta) {
+        self.ports[idx].extra_delay = extra;
+    }
+
+    /// Drop reverse-direction packets (ACK/NACK/CNP) with the given
+    /// probability in parts per million (reverse-path corruption).
+    pub fn set_reverse_corrupt_rate(&mut self, rate_ppm: u32) {
+        self.reverse_corrupt_ppm = rate_ppm;
+    }
+
+    /// Every drop this switch performed, in order, with its cause — the
+    /// conformance oracle's ground truth.
+    pub fn drop_log(&self) -> &[DropRecord] {
+        &self.drop_log
+    }
+
+    fn log_drop(&mut self, at: simcore::time::Nanos, pkt: &Packet, cause: DropCause) {
+        let psn = match pkt.kind {
+            PacketKind::Data { psn, .. } => psn,
+            PacketKind::Ack { epsn } | PacketKind::Nack { epsn, .. } => epsn,
+            _ => 0,
+        };
+        self.drop_log.push(DropRecord {
+            at,
+            qp: pkt.qp,
+            psn,
+            data: pkt.is_data(),
+            cause,
+        });
+    }
+
     /// Immutable port access (stats, tests).
     pub fn port(&self, idx: usize) -> &EgressPort {
         &self.ports[idx]
@@ -313,9 +356,31 @@ impl Switch {
                 if let Some(t) = &self.telem {
                     t.on_targeted_drop(pkt.qp.0 as u64, psn as u64);
                 }
+                self.log_drop(ctx.now(), &pkt, DropCause::Targeted);
                 self.notify_oracle_loss(&pkt, ctx);
                 return;
             }
+        }
+
+        // Reverse-path corruption (fault injection): ACK/NACK/CNP lost
+        // to bit errors before the switch can process them.
+        if self.reverse_corrupt_ppm > 0
+            && matches!(
+                pkt.kind,
+                PacketKind::Ack { .. } | PacketKind::Nack { .. } | PacketKind::Cnp
+            )
+            && self.rng.next_below(1_000_000) < self.reverse_corrupt_ppm as u64
+        {
+            self.stats.drops_targeted += 1;
+            if let Some(t) = &self.telem {
+                let seq = match pkt.kind {
+                    PacketKind::Ack { epsn } | PacketKind::Nack { epsn, .. } => epsn,
+                    _ => 0,
+                };
+                t.on_targeted_drop(pkt.qp.0 as u64, seq as u64);
+            }
+            self.log_drop(ctx.now(), &pkt, DropCause::ReverseCorrupt);
+            return;
         }
 
         let from_host = self
@@ -411,6 +476,7 @@ impl Switch {
                 if let Some(t) = &self.telem {
                     t.on_no_route_drop(pkt.qp.0 as u64);
                 }
+                self.log_drop(ctx.now(), &pkt, DropCause::NoRoute);
                 return;
             }
         };
@@ -440,21 +506,41 @@ impl Switch {
             Some(&mut self.buffer),
             &mut self.rng,
         );
-        if outcome.accepted() {
-            self.stats.forwarded += 1;
-            if let Some(t) = &self.telem {
-                let marked = self.ports[egress].stats.ecn_marked - ecn_before;
-                if marked > 0 {
-                    t.on_ecn_marked(marked);
+        match outcome {
+            EnqueueOutcome::TxStarted | EnqueueOutcome::Queued => {
+                self.stats.forwarded += 1;
+                if let Some(t) = &self.telem {
+                    let marked = self.ports[egress].stats.ecn_marked - ecn_before;
+                    if marked > 0 {
+                        t.on_ecn_marked(marked);
+                    }
                 }
+                self.check_pfc(ctx);
             }
-            self.check_pfc(ctx);
-        } else {
-            self.stats.drops_buffer += 1;
-            if let Some(t) = &self.telem {
-                t.on_buffer_drop(qp, psn);
+            EnqueueOutcome::DroppedInjected => {
+                // Injected losses (random per-port loss, down ports) are
+                // deliberate faults, not congestion: they count with the
+                // targeted drops, never as buffer drops.
+                self.stats.drops_targeted += 1;
+                if let Some(t) = &self.telem {
+                    t.on_targeted_drop(qp, psn);
+                }
+                let cause = if self.ports[egress].down {
+                    DropCause::PortDown
+                } else {
+                    DropCause::Injected
+                };
+                self.log_drop(ctx.now(), &pkt, cause);
+                self.notify_oracle_loss(&pkt, ctx);
             }
-            self.notify_oracle_loss(&pkt, ctx);
+            EnqueueOutcome::DroppedBuffer => {
+                self.stats.drops_buffer += 1;
+                if let Some(t) = &self.telem {
+                    t.on_buffer_drop(qp, psn);
+                }
+                self.log_drop(ctx.now(), &pkt, DropCause::Buffer);
+                self.notify_oracle_loss(&pkt, ctx);
+            }
         }
     }
 
@@ -524,6 +610,29 @@ impl Entity for Switch {
                 self.lb = lb;
                 if let Some(h) = self.hook.as_mut() {
                     h.on_link_event(false);
+                }
+            }
+            Event::Control(ControlMsg::SetPortDown { port, down }) => {
+                if let Some(p) = self.ports.get_mut(port as usize) {
+                    p.down = down;
+                }
+            }
+            Event::Control(ControlMsg::SetPortLossRate { port, rate_ppm }) => {
+                if let Some(p) = self.ports.get_mut(port as usize) {
+                    p.loss_rate = rate_ppm as f64 / 1e6;
+                }
+            }
+            Event::Control(ControlMsg::SetPortExtraDelay { port, extra_ns }) => {
+                if let Some(p) = self.ports.get_mut(port as usize) {
+                    p.extra_delay = TimeDelta::from_nanos(extra_ns);
+                }
+            }
+            Event::Control(ControlMsg::SetReverseCorruptRate { rate_ppm }) => {
+                self.reverse_corrupt_ppm = rate_ppm;
+            }
+            Event::Control(ControlMsg::SetSprayEnabled { on }) => {
+                if let Some(h) = self.hook.as_mut() {
+                    h.on_admin_spray(on);
                 }
             }
             Event::Timer { .. } | Event::Control(_) => {

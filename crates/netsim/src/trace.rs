@@ -33,6 +33,42 @@ pub struct TapRecord {
     pub egress: PortId,
 }
 
+/// Why a switch dropped a packet (one entry per [`DropRecord`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// Shared buffer exhausted.
+    Buffer,
+    /// No route for the destination.
+    NoRoute,
+    /// Targeted `(qp, psn)` loss injection.
+    Targeted,
+    /// Random per-port loss injection.
+    Injected,
+    /// Egress port administratively down (link-failure blackhole).
+    PortDown,
+    /// Reverse-path (ACK/NACK/CNP) corruption loss injection.
+    ReverseCorrupt,
+}
+
+/// One dropped packet, as recorded in a switch's always-on drop log.
+///
+/// The log is the ground truth the conformance oracle checks loss
+/// recovery and packet conservation against: every drop of any cause
+/// appends exactly one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DropRecord {
+    /// When the packet was dropped.
+    pub at: Nanos,
+    /// Connection.
+    pub qp: crate::types::QpId,
+    /// PSN for data packets, carried ePSN for ACK/NACK, 0 otherwise.
+    pub psn: u32,
+    /// Whether the dropped packet was a data packet.
+    pub data: bool,
+    /// Why it was dropped.
+    pub cause: DropCause,
+}
+
 /// Observer invoked for every packet a switch forwards.
 pub trait PacketTap {
     /// `pkt` is about to leave via `egress` after arriving on `in_port`.

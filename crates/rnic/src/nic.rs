@@ -47,6 +47,9 @@ pub struct NicStats {
     pub handshakes_rx: u64,
     /// Control packets (ACK/NACK/CNP) transmitted.
     pub ctrl_tx: u64,
+    /// Received ACK/NACK/CNP packets discarded by injected receive-path
+    /// corruption ([`ControlMsg::SetRxCorruptRate`]).
+    pub corrupted_rx: u64,
 }
 
 /// A host NIC.
@@ -66,6 +69,7 @@ pub struct Nic {
     ctrl_queue: VecDeque<Packet>,
     wakeup_at: Option<Nanos>,
     rng: Xoshiro256,
+    rx_corrupt_ppm: u32,
     telem: Option<crate::telem::NicTelem>,
     /// NIC-level statistics.
     pub stats: NicStats,
@@ -93,6 +97,7 @@ impl Nic {
             ctrl_queue: VecDeque::new(),
             wakeup_at: None,
             rng: Xoshiro256::seeded(cfg.seed ^ (host.0 as u64) << 32),
+            rx_corrupt_ppm: 0,
             telem: None,
             stats: NicStats::default(),
         }
@@ -432,7 +437,16 @@ impl Nic {
             ControlMsg::MessageDelivered { .. } | ControlMsg::MessageAcked { .. } => {
                 debug_assert!(false, "completion notification delivered to a NIC");
             }
-            ControlMsg::TorLinkFailure | ControlMsg::TorLinkRecovery { .. } => {
+            ControlMsg::SetRxCorruptRate { rate_ppm } => {
+                self.rx_corrupt_ppm = rate_ppm;
+            }
+            ControlMsg::TorLinkFailure
+            | ControlMsg::TorLinkRecovery { .. }
+            | ControlMsg::SetPortDown { .. }
+            | ControlMsg::SetPortLossRate { .. }
+            | ControlMsg::SetPortExtraDelay { .. }
+            | ControlMsg::SetReverseCorruptRate { .. }
+            | ControlMsg::SetSprayEnabled { .. } => {
                 // Switch-directed notifications; NICs take no action.
             }
         }
@@ -443,6 +457,19 @@ impl Entity for Nic {
     fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
         match ev {
             Event::Packet { pkt, .. } => {
+                // Injected receive-path corruption: control packets that
+                // fail the (modeled) ICRC check are discarded before any
+                // QP processing, exactly as a real RNIC drops them.
+                if self.rx_corrupt_ppm > 0
+                    && matches!(
+                        pkt.kind,
+                        PacketKind::Ack { .. } | PacketKind::Nack { .. } | PacketKind::Cnp
+                    )
+                    && self.rng.next_below(1_000_000) < self.rx_corrupt_ppm as u64
+                {
+                    self.stats.corrupted_rx += 1;
+                    return;
+                }
                 match pkt.kind {
                     PacketKind::Data { .. } => self.on_data_packet(&pkt, ctx),
                     PacketKind::Ack { epsn } => self.on_ack_packet(pkt.qp, epsn, false, ctx),

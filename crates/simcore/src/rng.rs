@@ -115,6 +115,13 @@ impl Xoshiro256 {
         self.next_below(bound as u64) as usize
     }
 
+    /// Uniform value in `[lo, hi)`. `lo < hi` required.
+    #[inline]
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi, "next_range({lo}, {hi})");
+        lo + self.next_below(hi - lo)
+    }
+
     /// Uniform float in `[0, 1)`.
     #[inline]
     pub fn next_f64(&mut self) -> f64 {
@@ -197,6 +204,17 @@ mod tests {
                 assert!(r.next_below(bound) < bound);
             }
         }
+    }
+
+    #[test]
+    fn next_range_respects_bounds() {
+        let mut r = Xoshiro256::seeded(17);
+        for _ in 0..1000 {
+            let v = r.next_range(50, 75);
+            assert!((50..75).contains(&v));
+        }
+        // Degenerate single-value range.
+        assert_eq!(r.next_range(9, 10), 9);
     }
 
     #[test]

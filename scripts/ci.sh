@@ -8,7 +8,9 @@
 #   2. cargo build --release
 #   3. cargo test -q            (tier-1 suite)
 #   4. cargo doc --no-deps      (rustdoc warnings denied) + doctests
-#   5. <30 s substrate smoke benchmark; fails if events_per_sec drops
+#   5. fixed-seed conformance-fuzz smoke: themis_fuzz runs a bounded
+#      budget of fault scenarios under the protocol-invariant oracle.
+#   6. <30 s substrate smoke benchmark; fails if events_per_sec drops
 #      more than 30 % below the committed BENCH_substrate.json.
 #
 # The gate is relative to the committed JSON (absolute numbers vary by
@@ -31,6 +33,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "== doctests =="
 cargo test --workspace --doc -q
+
+echo "== conformance fuzz smoke (fixed seed) =="
+# Deterministic: the default seed + a fixed budget always explores the
+# same fault plans, so a failure here is a real protocol regression and
+# the printed repro command reproduces it exactly.
+./target/release/themis_fuzz --budget 60
 
 echo "== substrate smoke bench =="
 SMOKE_JSON=$(mktemp /tmp/bench_substrate_smoke.XXXXXX.json)

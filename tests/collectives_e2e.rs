@@ -4,7 +4,8 @@
 //! right number of delivered bytes, and the scheme ordering the paper
 //! predicts must hold on the ring workloads.
 
-use themis::harness::{run_collective, Collective, ExperimentConfig, Scheme};
+use themis::harness::oracle::{assert_conformant, OracleConfig};
+use themis::harness::{run_collective, run_collective_on, Collective, ExperimentConfig, Scheme};
 
 /// Expected delivered payload bytes for a collective over `groups`
 /// groups of `n` ranks with per-group buffer `total`.
@@ -38,7 +39,7 @@ fn all_collectives_complete_under_all_schemes() {
             Scheme::ThemisPathMap,
         ] {
             let cfg = ExperimentConfig::motivation_small(scheme, 31);
-            let r = run_collective(&cfg, collective, total);
+            let (r, cluster) = run_collective_on(&cfg, collective, total);
             assert!(
                 r.all_messages_completed(),
                 "{} × {} did not complete",
@@ -53,6 +54,11 @@ fn all_collectives_complete_under_all_schemes() {
                 scheme.label()
             );
             assert_eq!(r.fabric.drops_no_route, 0);
+            // Full protocol-invariant audit of the finished run.
+            let mut oracle = OracleConfig::for_scheme(scheme)
+                .with_expected_bytes(expected_bytes(collective, 2, 4, total));
+            oracle.quiesced = r.sim_end < cfg.horizon;
+            assert_conformant(&cluster, &oracle);
         }
     }
 }
@@ -107,11 +113,14 @@ fn pathmap_mode_is_equivalent_on_two_tier() {
 #[test]
 fn alltoall_stresses_last_hop_and_still_completes() {
     let cfg = ExperimentConfig::motivation_small(Scheme::Themis, 17);
-    let r = run_collective(&cfg, Collective::Alltoall, 4 << 20);
+    let (r, cluster) = run_collective_on(&cfg, Collective::Alltoall, 4 << 20);
     assert!(r.all_messages_completed());
     // 4-rank alltoall: every rank receives from 3 peers concurrently —
     // the last hop is oversubscribed 3:1 and must mark or queue.
     assert!(r.sim_end.as_nanos() > 0);
+    let mut oracle = OracleConfig::for_scheme(Scheme::Themis);
+    oracle.quiesced = r.sim_end < cfg.horizon;
+    assert_conformant(&cluster, &oracle);
 }
 
 #[test]

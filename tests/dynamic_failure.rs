@@ -8,6 +8,7 @@
 
 use themis::collectives::driver::{setup_collective, Driver, QpAllocator, START_TOKEN};
 use themis::collectives::schedule::{Schedule, Transfer};
+use themis::harness::oracle::{assert_conformant, OracleConfig};
 use themis::harness::{build_cluster, ExperimentConfig, Scheme};
 use themis::netsim::event::{ControlMsg, Event};
 use themis::netsim::lb::LbPolicy;
@@ -67,6 +68,11 @@ fn flow_survives_mid_run_failure_and_recovery() {
     }
 
     cluster.world.run_until(cfg.horizon);
+
+    // Protocol-invariant audit across the failure episode.
+    let mut oracle = OracleConfig::for_scheme(Scheme::Themis);
+    oracle.quiesced = cluster.world.now() < cfg.horizon;
+    assert_conformant(&cluster, &oracle);
 
     let d: &Driver = cluster.world.get(cluster.driver).unwrap();
     assert!(d.all_complete(), "flow must survive the failure episode");
@@ -140,6 +146,11 @@ fn failure_only_episode_degenerates_to_clean_ecmp() {
         Event::Timer { token: START_TOKEN },
     );
     cluster.world.run_until(cfg.horizon);
+
+    // A pure-ECMP run must be perfectly conformant too.
+    let mut oracle = OracleConfig::for_scheme(Scheme::Themis);
+    oracle.quiesced = cluster.world.now() < cfg.horizon;
+    assert_conformant(&cluster, &oracle);
 
     let d: &Driver = cluster.world.get(cluster.driver).unwrap();
     assert!(d.all_complete());

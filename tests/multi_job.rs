@@ -7,6 +7,7 @@
 
 use themis::collectives::driver::{setup_collective, Driver, QpAllocator, START_TOKEN};
 use themis::collectives::{alltoall::alltoall, ring::ring_allreduce};
+use themis::harness::oracle::{assert_conformant, OracleConfig};
 use themis::harness::{build_cluster, ExperimentConfig, Scheme};
 use themis::netsim::event::Event;
 use themis::netsim::types::HostId;
@@ -47,6 +48,10 @@ fn run_two_jobs(
         Event::Timer { token: START_TOKEN },
     );
     cluster.world.run_until(cfg.horizon);
+    // Protocol-invariant audit on every job mix, every scheme.
+    let mut oracle = OracleConfig::for_scheme(scheme);
+    oracle.quiesced = cluster.world.now() < cfg.horizon;
+    assert_conformant(&cluster, &oracle);
     let d: &Driver = cluster.world.get(cluster.driver).unwrap();
     let completions = d.completions();
     let r = themis::harness::ExperimentResult {

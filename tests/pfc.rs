@@ -10,6 +10,7 @@
 //! rate), so the stress here is a true N-to-1 incast: three line-rate
 //! senders converging on one receiver's last hop.
 
+use themis::harness::oracle::{assert_conformant, OracleConfig};
 use themis::harness::{ExperimentConfig, Scheme};
 use themis::netsim::switch::PfcConfig;
 use themis::netsim::topology::LeafSpineConfig;
@@ -36,7 +37,14 @@ fn run_incast(pfc: bool) -> themis::harness::ExperimentResult {
         seed: 77,
         horizon: Nanos::from_secs(2),
     };
-    themis::harness::run_collective(&cfg, themis::harness::Collective::Incast, 8 << 20)
+    let (r, cluster) =
+        themis::harness::run_collective_on(&cfg, themis::harness::Collective::Incast, 8 << 20);
+    // Protocol-invariant audit: buffer-overflow drops (without PFC) must
+    // still conserve packets and recover every loss.
+    let mut oracle = OracleConfig::for_scheme(Scheme::Themis).without_rto_bound();
+    oracle.quiesced = r.sim_end < cfg.horizon;
+    assert_conformant(&cluster, &oracle);
+    r
 }
 
 #[test]
@@ -110,8 +118,12 @@ fn pfc_and_themis_compose_on_ring_traffic() {
         seed: 77,
         horizon: Nanos::from_secs(2),
     };
-    let r = themis::harness::run_collective(&cfg, themis::harness::Collective::RingOnce, 4 << 20);
+    let (r, cluster) =
+        themis::harness::run_collective_on(&cfg, themis::harness::Collective::RingOnce, 4 << 20);
     assert!(r.all_messages_completed());
+    let mut oracle = OracleConfig::for_scheme(Scheme::Themis);
+    oracle.quiesced = r.sim_end < cfg.horizon;
+    assert_conformant(&cluster, &oracle);
     assert_eq!(r.fabric.drops_buffer, 0, "lossless");
     assert!(
         r.themis.nacks_blocked > 0,
