@@ -221,6 +221,7 @@ ring: bidirectional contention)",
                 scheme,
                 seed: 77,
                 horizon: simcore::time::Nanos::from_secs(5),
+                shards: 1,
             };
             let r = run_collective(&cfg, collective, bytes * 4);
             t7.row(&[

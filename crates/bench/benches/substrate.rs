@@ -16,14 +16,22 @@
 //!    `--jobs 4`, plus the resulting speedup. On a single-CPU container
 //!    the speedup is ~1.0 by physics; the `cpus` field records how many
 //!    cores the numbers were taken on so readers can interpret them.
+//! 5. **parallel engine scaling**: one 256-host paper-fabric run at
+//!    `shards = 1` vs `shards = 4` (`parallel_speedup_4c`), with a
+//!    bit-identity assert between the two (CSV fingerprint + full
+//!    telemetry JSON). Like the sweep speedup, ~1.0 on one core.
+//! 6. **shard-merge throughput** of `RunReport::merge`
+//!    (`shard_merge_ops_per_sec`, ops = ring events merged) — the only
+//!    new per-window cost the sharded engine adds at snapshot time.
 //!
 //! Environment knobs (all optional, for CI smoke runs):
-//!   `THEMIS_BENCH_FABRIC`    motivation | paper | both          [both]
-//!   `THEMIS_BENCH_MB`        motivation single-run size in MB   [64]
-//!   `THEMIS_BENCH_PAPER_MB`  paper single-run size in MB        [4]
-//!   `THEMIS_BENCH_SWEEP_MB`  per-cell sweep size in MB          [16]
-//!   `THEMIS_BENCH_BUDGET`    measurement budget in seconds      [2.0]
-//!   `THEMIS_BENCH_OUT`       output path [<repo>/BENCH_substrate.json]
+//!   `THEMIS_BENCH_FABRIC`      motivation | paper | both          [both]
+//!   `THEMIS_BENCH_MB`          motivation single-run size in MB   [64]
+//!   `THEMIS_BENCH_PAPER_MB`    paper single-run size in MB        [4]
+//!   `THEMIS_BENCH_SWEEP_MB`    per-cell sweep size in MB          [16]
+//!   `THEMIS_BENCH_PARALLEL_MB` parallel-scaling run size in MB    [2]
+//!   `THEMIS_BENCH_BUDGET`      measurement budget in seconds      [2.0]
+//!   `THEMIS_BENCH_OUT`         output path [<repo>/BENCH_substrate.json]
 
 use std::time::Instant;
 use themis_bench::harness::{write_json, Bench, JsonValue, Measurement};
@@ -120,6 +128,73 @@ fn main() {
         ("cpus".to_string(), JsonValue::Int(cpus as u64)),
     ];
 
+    // ---- shard-merge throughput ------------------------------------
+    // `RunReport::merge` is the only per-snapshot cost sharding adds:
+    // summing counters, folding histogram bins, and a k-way canonical
+    // merge of per-shard event rings. Ops = ring events merged.
+    //
+    // Measured before any fabric section on purpose: the big fabric
+    // runs leave the allocator warm and inflate this number ~2x, and
+    // the CI smoke config skips those sections — benching first keeps
+    // the committed and smoke numbers comparable.
+    const MERGE_SHARDS: usize = 4;
+    const MERGE_EVENTS: u64 = 2_048;
+    const MERGE_ITERS: u64 = 200;
+    let shard_snapshots: Vec<telemetry::RunReport> = (0..MERGE_SHARDS)
+        .map(|shard| {
+            let sink = telemetry::Sink::new(MERGE_EVENTS as usize);
+            let c = sink.counter("bench.counter");
+            let h = sink.time_hist("bench.hist", 1_000, 64);
+            for i in 0..MERGE_EVENTS {
+                sink.clock().set(i * 64 + shard as u64);
+                sink.stamp().set(i, shard as u32);
+                sink.inc(c);
+                sink.observe(h, i % 1_000);
+                sink.event(telemetry::EventKind::PacketDrop, i, shard as u64);
+            }
+            sink.snapshot()
+        })
+        .collect();
+    let merge_m = b
+        .run("substrate/shard_merge_4way", "ops", || {
+            let mut retained = 0u64;
+            for _ in 0..MERGE_ITERS {
+                let merged = telemetry::RunReport::merge(shard_snapshots.clone());
+                retained += merged.events.total;
+            }
+            assert_eq!(retained, MERGE_ITERS * MERGE_SHARDS as u64 * MERGE_EVENTS);
+            retained
+        })
+        .clone();
+    fields.push((
+        "shard_merge_ops_per_sec".to_string(),
+        JsonValue::Num(merge_m.units_per_sec()),
+    ));
+
+    // ---- telemetry hot path ----------------------------------------
+    // The sink is compiled into every cluster, so its overhead is
+    // already inside events_per_sec above; this isolates the raw cost
+    // of the two hot operations (counter inc + histogram observe) so a
+    // registry regression is visible on its own.
+    const TELEM_OPS: u64 = 2_000_000;
+    let telem_m = b
+        .run("substrate/telemetry_inc_observe", "ops", || {
+            let sink = telemetry::Sink::new(64);
+            let c = sink.counter("bench.counter");
+            let h = sink.time_hist("bench.hist", 1_000, 64);
+            for i in 0..TELEM_OPS / 2 {
+                sink.clock().set(i);
+                sink.inc(c);
+                sink.observe(h, i % 1_000);
+            }
+            TELEM_OPS
+        })
+        .clone();
+    fields.push((
+        "telemetry_ops_per_sec".to_string(),
+        JsonValue::Num(telem_m.units_per_sec()),
+    ));
+
     // ---- single-run throughput, motivation fabric ------------------
     let motivation_cfg = ExperimentConfig::motivation_small(Scheme::RandomSpray, 1);
     if fabric != "paper" {
@@ -205,29 +280,46 @@ fn main() {
         ("sweep_speedup".to_string(), JsonValue::Num(speedup)),
     ]);
 
-    // ---- telemetry hot path ----------------------------------------
-    // The sink is compiled into every cluster, so its overhead is
-    // already inside events_per_sec above; this isolates the raw cost
-    // of the two hot operations (counter inc + histogram observe) so a
-    // registry regression is visible on its own.
-    const TELEM_OPS: u64 = 2_000_000;
-    let telem_m = b
-        .run("substrate/telemetry_inc_observe", "ops", || {
-            let sink = telemetry::Sink::new(64);
-            let c = sink.counter("bench.counter");
-            let h = sink.time_hist("bench.hist", 1_000, 64);
-            for i in 0..TELEM_OPS / 2 {
-                sink.clock().set(i);
-                sink.inc(c);
-                sink.observe(h, i % 1_000);
+    // ---- parallel engine scaling -----------------------------------
+    // The same 256-host paper-fabric run, serial vs 4 shards. The two
+    // runs must agree to the byte (CSV fingerprint + telemetry JSON) —
+    // this is the release-mode leg of tests/parallel_equivalence.rs —
+    // and the timing ratio is the headline `parallel_speedup_4c`.
+    if fabric != "motivation" {
+        let parallel_mb = env_u64("THEMIS_BENCH_PARALLEL_MB", 2);
+        let pcfg = ExperimentConfig::paper_eval(Scheme::Themis, 900, 4, 1);
+        let time_shards = |shards: usize| -> (f64, String, String) {
+            let mut cfg = pcfg.clone();
+            cfg.shards = shards;
+            let mut best = f64::INFINITY;
+            let mut fp = String::new();
+            let mut json = String::new();
+            for _ in 0..2 {
+                let t0 = Instant::now();
+                let r = run_collective(&cfg, Collective::Alltoall, parallel_mb << 20);
+                best = best.min(t0.elapsed().as_secs_f64());
+                fp = format!("{},{}", r.to_csv_row(), r.events);
+                let mut rep = telemetry::Report::new();
+                rep.add_run("parallel", r.telemetry.clone());
+                json = rep.to_json();
             }
-            TELEM_OPS
-        })
-        .clone();
-    fields.push((
-        "telemetry_ops_per_sec".to_string(),
-        JsonValue::Num(telem_m.units_per_sec()),
-    ));
+            (best, fp, json)
+        };
+        let (secs_s1, fp_s1, json_s1) = time_shards(1);
+        let (secs_s4, fp_s4, json_s4) = time_shards(4);
+        assert_eq!(fp_s1, fp_s4, "sharded run diverged from serial");
+        assert_eq!(json_s1, json_s4, "sharded telemetry diverged from serial");
+        let speedup = secs_s1 / secs_s4;
+        println!("\nparallel engine: 256-host alltoall x {parallel_mb} MB/group themis");
+        println!("  --shards 1 : {secs_s1:>8.3} s");
+        println!("  --shards 4 : {secs_s4:>8.3} s   ({speedup:.2}x on {cpus} cpu(s))");
+        fields.extend([
+            ("parallel_run_mb".to_string(), JsonValue::Int(parallel_mb)),
+            ("parallel_secs_shards1".to_string(), JsonValue::Num(secs_s1)),
+            ("parallel_secs_shards4".to_string(), JsonValue::Num(secs_s4)),
+            ("parallel_speedup_4c".to_string(), JsonValue::Num(speedup)),
+        ]);
+    }
 
     // ---- report -----------------------------------------------------
     let path = out_path();

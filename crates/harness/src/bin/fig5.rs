@@ -2,16 +2,19 @@
 //!
 //! Usage:
 //! `cargo run --release -p themis-harness --bin fig5 -- [allreduce|alltoall] [MB_PER_GROUP]
-//! [--jobs N] [--telemetry out.json] [--trace-last N]`
+//! [--jobs N] [--shards N] [--telemetry out.json] [--trace-last N]`
 //!
 //! Defaults to Allreduce at 8 MB per group. The paper's full scale is
 //! 300 MB per group (expect a long run: ~10⁹ simulator events).
-//! `--jobs N` fans the 15 sweep cells over N worker threads; results
-//! are identical for any N. `--telemetry` writes one run snapshot per
-//! sweep cell, labelled `ti<TI>_td<TD>/<scheme>`; `--trace-last N`
-//! dumps the event-ring tail of every cell that failed to complete.
+//! `--jobs N` fans the 15 sweep cells over N worker threads and
+//! `--shards N` partitions each cell's engine; results are identical
+//! for any N of either (the two compose, see the harness `knobs` docs).
+//! `--telemetry` writes one run snapshot per sweep cell, labelled
+//! `ti<TI>_td<TD>/<scheme>`; `--trace-last N` dumps the event-ring tail
+//! of every cell that failed to complete.
 
 use themis_harness::fig5::{improvement_pct, run_fig5_with, Fig5Config};
+use themis_harness::knobs::take_shards_arg;
 use themis_harness::report::{fmt_ms, Table};
 use themis_harness::sweep::{take_jobs_arg, SweepRunner};
 use themis_harness::telemetry_out::take_telemetry_args;
@@ -20,6 +23,7 @@ use themis_harness::{Collective, Scheme};
 fn main() {
     let (telem, rest) = take_telemetry_args(std::env::args().skip(1).collect());
     let (jobs, rest) = take_jobs_arg(rest);
+    let (shards, rest) = take_shards_arg(rest);
     let mut args = rest.into_iter();
     let collective = match args.next().as_deref() {
         Some("alltoall") => Collective::Alltoall,
@@ -42,7 +46,8 @@ fn main() {
     );
     println!("16x16 leaf-spine @400 Gbps, 16 groups x 16 NICs ({jobs} worker(s))\n");
 
-    let cfg = Fig5Config::paper(collective, bytes, 1);
+    let mut cfg = Fig5Config::paper(collective, bytes, 1);
+    cfg.shards = shards;
     let points = run_fig5_with(&cfg, SweepRunner::new(jobs));
 
     if telem.active() {

@@ -22,6 +22,8 @@
 //!   --kb N            pin the per-group buffer in KB (default: sampled
 //!                     64..=512 per case)
 //!   --max-episodes N  fault episodes per sampled plan            [5]
+//!   --shards N        engine shards per case (THEMIS_SHARDS); cases
+//!                     are bit-identical for any value           [1]
 //!   --trace-last N    on failure, dump the last N telemetry events
 //!   --keep-going      do not stop at the first failing case
 //! ```
@@ -147,7 +149,8 @@ impl Case {
             None => rng.next_range(64, 513),
         };
         let bytes = kb << 10;
-        let cfg = ExperimentConfig::motivation_small(run_scheme, rng.next_u64());
+        let mut cfg = ExperimentConfig::motivation_small(run_scheme, rng.next_u64());
+        cfg.shards = args.get("shards", cfg.shards);
         let space = FaultSpace {
             n_leaves: cfg.fabric.n_leaves,
             n_uplinks: cfg.fabric.n_spines,
@@ -194,42 +197,17 @@ impl Case {
     }
 }
 
-/// Greedy delta-debugging shrink: drop ever-smaller chunks of the event
-/// list while the oracle still reports *some* violation, down to
-/// 1-minimality. Returns the shrunk plan and how many re-runs it took.
+/// Shrink a failing fault plan to 1-minimality with the shared
+/// [`themis_harness::ddmin`] helper: drop ever-smaller chunks of the
+/// event list while the oracle still reports *some* violation. Returns
+/// the shrunk plan and how many re-runs it took.
 fn shrink(case: &Case, plan: &FaultPlan) -> (FaultPlan, usize) {
-    let mut events: Vec<FaultEvent> = plan.events.clone();
-    let mut runs = 0usize;
-    let still_fails = |events: &[FaultEvent], runs: &mut usize| {
-        *runs += 1;
+    let (events, runs) = themis_harness::ddmin(&plan.events, |events: &[FaultEvent]| {
         let candidate = FaultPlan {
             events: events.to_vec(),
         };
         !case.run(&candidate).1.is_empty()
-    };
-    let mut chunk = events.len().div_ceil(2).max(1);
-    loop {
-        let mut removed_any = false;
-        let mut start = 0;
-        while start < events.len() {
-            let end = (start + chunk).min(events.len());
-            let mut candidate = events.clone();
-            candidate.drain(start..end);
-            if still_fails(&candidate, &mut runs) {
-                events = candidate;
-                removed_any = true;
-                // Re-test from the same offset: the next chunk slid here.
-            } else {
-                start = end;
-            }
-        }
-        if chunk == 1 && !removed_any {
-            break;
-        }
-        if !removed_any {
-            chunk = (chunk / 2).max(1);
-        }
-    }
+    });
     (FaultPlan { events }, runs)
 }
 

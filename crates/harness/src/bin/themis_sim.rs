@@ -21,6 +21,8 @@
 //!   --seed N          root seed                             [1]
 //!   --pfc             enable hop-by-hop PFC
 //!   --jobs N          sweep worker threads (sweep command)  [$THEMIS_JOBS or 1]
+//!   --shards N        engine shards per run; bit-identical results
+//!                     for any value                         [$THEMIS_SHARDS or 1]
 //!   --telemetry PATH  write the versioned themis-telemetry JSON report
 //!   --trace-last N    on an incomplete run, dump the last N structured
 //!                     events to stderr
@@ -200,6 +202,7 @@ fn build_config(args: &Args) -> ExperimentConfig {
         scheme,
         seed,
         horizon: Nanos::from_secs(args.get("horizon-s", 10u64)),
+        shards: args.get("shards", themis_harness::knobs::shards_from_env()),
     }
 }
 
@@ -313,8 +316,10 @@ fn main() {
                 .iter()
                 .flat_map(|&(ti, td)| SCHEMES.iter().map(move |&s| (ti, td, s)))
                 .collect();
+            let shards = args.get("shards", themis_harness::knobs::shards_from_env());
             let results = SweepRunner::new(jobs).run(&cells, |&(ti, td, scheme)| {
-                let cfg = ExperimentConfig::paper_eval(scheme, ti, td, seed);
+                let mut cfg = ExperimentConfig::paper_eval(scheme, ti, td, seed);
+                cfg.shards = shards;
                 run_collective(&cfg, collective, bytes)
             });
             let telem = args.telemetry();

@@ -5,8 +5,9 @@ use netsim::port::EgressPort;
 use netsim::switch::Switch;
 use netsim::topology::{build_leaf_spine, FabricPlan, LeafSpineConfig};
 use netsim::types::{HostId, NodeId};
-use netsim::world::World;
+use netsim::world::{ShardPlan, World, CONTROL_PLANE_LATENCY};
 use rnic::{Nic, NicConfig, NicTelem, TransportMode};
+use simcore::time::TimeDelta;
 use themis_core::{ThemisConfig, ThemisMiddleware, ThemisTelem};
 
 /// Event-ring capacity of every cluster's telemetry sink: large enough
@@ -32,8 +33,14 @@ pub struct Cluster {
     pub scheme: Scheme,
     /// NIC configuration in force.
     pub nic_cfg: NicConfig,
-    /// The telemetry sink every layer of this cluster reports into.
+    /// The telemetry sink of shard 0 (the driver's shard). In a serial
+    /// build this is *the* cluster sink; in a sharded build it is where
+    /// driver-side instruments report.
     pub telemetry: telemetry::Sink,
+    /// One telemetry sink per shard (length 1 for a serial build). Every
+    /// sink registers the same instrument names, so
+    /// [`Cluster::snapshot_merged`] can fold them into one report.
+    pub sinks: Vec<telemetry::Sink>,
 }
 
 impl Cluster {
@@ -51,6 +58,18 @@ impl Cluster {
         self.world
             .get(NodeId(host.0))
             .expect("NIC installed for every host")
+    }
+
+    /// Snapshot this cluster's telemetry as one report: the serial sink
+    /// directly, or the per-shard sinks merged by
+    /// [`telemetry::RunReport::merge`]. A sharded run's merged report is
+    /// byte-identical (once serialized) to the serial run's snapshot.
+    pub fn snapshot_merged(&self) -> telemetry::RunReport {
+        if self.sinks.len() == 1 {
+            self.sinks[0].snapshot()
+        } else {
+            telemetry::RunReport::merge(self.sinks.iter().map(|s| s.snapshot()).collect())
+        }
     }
 
     /// Aggregated Themis middleware stats across all ToRs (zeros when the
@@ -105,6 +124,25 @@ pub struct ThemisAggregate {
 /// middleware on every ToR when the scheme calls for it, and a reserved
 /// driver slot.
 pub fn build_cluster(fabric_cfg: &LeafSpineConfig, nic_cfg: NicConfig, scheme: Scheme) -> Cluster {
+    build_cluster_sharded(fabric_cfg, nic_cfg, scheme, 1)
+}
+
+/// [`build_cluster`] with a ToR-aligned partition over `n_shards` engine
+/// shards (clamped to the leaf count; 1 = serial).
+///
+/// Each leaf, its attached hosts, and a round-robin share of the spines
+/// land on one shard; the driver lives on shard 0. Host links never cross
+/// shards, so the conservative lookahead is the minimum of the fabric
+/// link latency and [`CONTROL_PLANE_LATENCY`]. Every shard gets its own
+/// telemetry sink with the full instrument set registered, which
+/// [`Cluster::snapshot_merged`] folds back into a single report that is
+/// byte-identical to a serial run's.
+pub fn build_cluster_sharded(
+    fabric_cfg: &LeafSpineConfig,
+    nic_cfg: NicConfig,
+    scheme: Scheme,
+    n_shards: usize,
+) -> Cluster {
     let mut fabric_cfg = fabric_cfg.clone();
     fabric_cfg.lb = scheme.lb_policy();
     // The Ideal transport needs drop notifications from switches.
@@ -122,16 +160,40 @@ pub fn build_cluster(fabric_cfg: &LeafSpineConfig, nic_cfg: NicConfig, scheme: S
         n_paths,
     } = build_leaf_spine(&fabric_cfg);
 
-    // Telemetry: one sink per cluster; the engine mirrors its clock into
-    // it so every layer stamps observations with simulated time.
-    let sink = telemetry::Sink::new(EVENT_RING_CAPACITY);
-    world.engine.attach_clock(sink.clock());
-    let switch_telem = netsim::telem::SwitchTelem::register(&sink);
+    let n_shards = n_shards.clamp(1, leaves.len());
+
+    // Telemetry: one sink per shard; each shard engine mirrors its clock
+    // and dispatch stamp into its own sink. All instrument families are
+    // registered on every sink — in the same order — so the per-shard
+    // registries carry identical name sets and merge cleanly.
+    let sinks: Vec<telemetry::Sink> = (0..n_shards)
+        .map(|_| telemetry::Sink::new(EVENT_RING_CAPACITY))
+        .collect();
+    world.engine.attach_clock(sinks[0].clock());
+    world.engine.attach_stamp(sinks[0].stamp());
+    let switch_telems: Vec<netsim::telem::SwitchTelem> = sinks
+        .iter()
+        .map(netsim::telem::SwitchTelem::register)
+        .collect();
+
+    // ToR-aligned partition: leaves spread evenly, hosts follow their
+    // ToR, spines round-robin, driver on shard 0.
+    let mut shard_of = vec![0u16; world.len() + 1]; // +1 for the driver slot
+    for (i, &leaf) in leaves.iter().enumerate() {
+        shard_of[leaf.index()] = (i * n_shards / leaves.len()) as u16;
+    }
+    for (i, &spine) in spines.iter().enumerate() {
+        shard_of[spine.index()] = (i % n_shards) as u16;
+    }
+    for att in &hosts {
+        shard_of[att.node.index()] = shard_of[att.tor.index()];
+    }
+
     for &sw_id in leaves.iter().chain(spines.iter()) {
         world
             .get_mut::<Switch>(sw_id)
             .expect("switch installed by builder")
-            .set_telemetry(switch_telem.clone());
+            .set_telemetry(switch_telems[shard_of[sw_id.index()] as usize].clone());
     }
 
     // Themis middleware on every ToR.
@@ -158,27 +220,40 @@ pub fn build_cluster(fabric_cfg: &LeafSpineConfig, nic_cfg: NicConfig, scheme: S
         base_themis.queue_capacity
     );
     if let Some(themis_cfg) = scheme.themis_config(base_themis) {
-        let themis_telem = ThemisTelem::register(&sink);
+        let themis_telems: Vec<ThemisTelem> = sinks.iter().map(ThemisTelem::register).collect();
         for &leaf in &leaves {
             let sw = world
                 .get_mut::<Switch>(leaf)
                 .expect("leaf installed by builder");
             let mut mw = ThemisMiddleware::new(themis_cfg);
-            mw.set_telemetry(themis_telem.clone());
+            mw.set_telemetry(themis_telems[shard_of[leaf.index()] as usize].clone());
             sw.set_hook(Box::new(mw));
         }
     }
 
     // NICs.
-    let nic_telem = NicTelem::register(&sink);
+    let nic_telems: Vec<NicTelem> = sinks.iter().map(NicTelem::register).collect();
     for att in &hosts {
         let port = EgressPort::new(att.tor, att.tor_port, att.link);
         let mut nic = Nic::new(att.host, nic_cfg, port);
-        nic.set_telemetry(nic_telem.clone());
+        nic.set_telemetry(nic_telems[shard_of[att.node.index()] as usize].clone());
         world.install(att.node, Box::new(nic));
     }
 
     let driver = world.reserve();
+
+    if n_shards > 1 {
+        // Conservative lookahead: the cheapest cross-shard interaction is
+        // either a fabric hop or a control-plane message.
+        let lookahead = TimeDelta::from_nanos(
+            CONTROL_PLANE_LATENCY
+                .as_nanos()
+                .min(fabric_cfg.fabric_link.latency.as_nanos()),
+        );
+        let mut plan = ShardPlan::new(shard_of, n_shards, lookahead);
+        plan.telem = sinks.iter().map(|s| (s.clock(), s.stamp())).collect();
+        world.set_shard_plan(plan);
+    }
 
     Cluster {
         world,
@@ -189,7 +264,8 @@ pub fn build_cluster(fabric_cfg: &LeafSpineConfig, nic_cfg: NicConfig, scheme: S
         driver,
         scheme,
         nic_cfg,
-        telemetry: sink,
+        telemetry: sinks[0].clone(),
+        sinks,
     }
 }
 

@@ -1,6 +1,6 @@
 //! Generic experiment runner: a cluster + a collective workload → metrics.
 
-use crate::cluster::{build_cluster, Cluster, ThemisAggregate};
+use crate::cluster::{build_cluster_sharded, Cluster, ThemisAggregate};
 use crate::faults::FaultPlan;
 use crate::scheme::Scheme;
 use collectives::alltoall::{alltoall, incast};
@@ -71,6 +71,10 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Simulation horizon (safety stop for hung runs).
     pub horizon: Nanos,
+    /// Engine shard count (1 = serial; see [`crate::knobs`]). Results
+    /// are bit-identical for any value. Constructors default it from
+    /// `THEMIS_SHARDS`.
+    pub shards: usize,
 }
 
 impl ExperimentConfig {
@@ -86,6 +90,7 @@ impl ExperimentConfig {
             scheme,
             seed,
             horizon: Nanos::from_secs(2),
+            shards: crate::knobs::shards_from_env(),
         }
     }
 
@@ -105,6 +110,7 @@ impl ExperimentConfig {
             scheme,
             seed,
             horizon: Nanos::from_secs(5),
+            shards: crate::knobs::shards_from_env(),
         }
     }
 }
@@ -236,14 +242,24 @@ pub const MSG_LATENCY_BIN_NS: u64 = 10_000_000;
 pub const MSG_LATENCY_BINS: usize = 512;
 
 /// Wire the driver into the cluster's telemetry sink: each transfer's
-/// post → delivery latency lands in `collective.msg_latency`.
+/// post → delivery latency lands in `collective.msg_latency`. The
+/// histogram is registered on **every** shard sink so sharded and serial
+/// registries carry identical name sets; the driver itself reports into
+/// shard 0's sink (its owner shard).
 fn attach_driver_telemetry(driver: &mut Driver, cluster: &Cluster) {
-    let hist = cluster.telemetry.time_hist(
-        "collective.msg_latency",
-        MSG_LATENCY_BIN_NS,
-        MSG_LATENCY_BINS,
+    let mut hist = None;
+    for sink in &cluster.sinks {
+        let id = sink.time_hist(
+            "collective.msg_latency",
+            MSG_LATENCY_BIN_NS,
+            MSG_LATENCY_BINS,
+        );
+        hist.get_or_insert(id);
+    }
+    driver.set_telemetry(
+        cluster.telemetry.clone(),
+        hist.expect("cluster has at least one sink"),
     );
-    driver.set_telemetry(cluster.telemetry.clone(), hist);
 }
 
 /// Sum NIC counters over the cluster.
@@ -288,7 +304,7 @@ pub fn run_collective_with_faults(
     total_bytes: u64,
     plan: &FaultPlan,
 ) -> (ExperimentResult, Cluster) {
-    let mut cluster = build_cluster(&cfg.fabric, cfg.nic, cfg.scheme);
+    let mut cluster = build_cluster_sharded(&cfg.fabric, cfg.nic, cfg.scheme, cfg.shards);
     let groups = all_groups(cfg.fabric.n_leaves, cfg.fabric.hosts_per_leaf);
     let mut alloc = QpAllocator::new(cfg.seed ^ 0xC0_11EC);
     let mut driver = Driver::new();
@@ -394,7 +410,7 @@ pub fn run_seed_sweep(
 /// A single point-to-point message between two cross-rack hosts; the
 /// simplest end-to-end exercise of a scheme (used by the quickstart).
 pub fn run_point_to_point(cfg: &ExperimentConfig, bytes: u64) -> ExperimentResult {
-    let mut cluster = build_cluster(&cfg.fabric, cfg.nic, cfg.scheme);
+    let mut cluster = build_cluster_sharded(&cfg.fabric, cfg.nic, cfg.scheme, cfg.shards);
     let src = cluster.hosts[0];
     // First host of the second rack: guaranteed cross-rack.
     let dst = cluster.hosts[cfg.fabric.hosts_per_leaf];
@@ -468,7 +484,7 @@ fn collect_result(cfg: &ExperimentConfig, cluster: &Cluster) -> ExperimentResult
 /// `agg.*` (entity-stat aggregates) and `run.*` (run-level) exports, so
 /// one JSON document carries both views and they can be cross-checked.
 fn snapshot_telemetry(r: &ExperimentResult, cluster: &Cluster) -> telemetry::RunReport {
-    let mut t = cluster.telemetry.snapshot();
+    let mut t = cluster.snapshot_merged();
 
     t.push_counter("agg.fabric.rx_packets", r.fabric.rx_packets);
     t.push_counter("agg.fabric.forwarded", r.fabric.forwarded);

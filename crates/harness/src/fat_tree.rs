@@ -14,7 +14,9 @@ use crate::scheme::Scheme;
 use netsim::fat_tree::{build_fat_tree, FatTreeConfig, FatTreePlan, AGG_ECMP_SHIFT};
 use netsim::port::EgressPort;
 use netsim::switch::Switch;
+use netsim::world::{ShardPlan, CONTROL_PLANE_LATENCY};
 use rnic::{Nic, NicConfig, NicTelem, TransportMode};
+use simcore::time::TimeDelta;
 use themis_core::themis_s::SprayMode;
 use themis_core::{ThemisConfig, ThemisMiddleware, ThemisTelem};
 
@@ -28,6 +30,24 @@ pub fn build_fat_tree_cluster(
     fabric_cfg: &FatTreeConfig,
     nic_cfg: NicConfig,
     scheme: Scheme,
+) -> Cluster {
+    build_fat_tree_cluster_sharded(fabric_cfg, nic_cfg, scheme, 1)
+}
+
+/// [`build_fat_tree_cluster`] with a **pod-aligned** partition over
+/// `n_shards` engine shards (clamped to the pod count; 1 = serial).
+///
+/// A pod's edges, aggregation switches and hosts always land on the same
+/// shard — intra-pod links (host↔edge, edge↔agg) never cross shards, so
+/// the only cut edges are agg↔core fabric links and control-plane
+/// messages, giving lookahead
+/// `min(fabric latency, CONTROL_PLANE_LATENCY)`. Cores are spread
+/// round-robin; the driver lives on shard 0.
+pub fn build_fat_tree_cluster_sharded(
+    fabric_cfg: &FatTreeConfig,
+    nic_cfg: NicConfig,
+    scheme: Scheme,
+    n_shards: usize,
 ) -> Cluster {
     let mut fabric_cfg = fabric_cfg.clone();
     fabric_cfg.lb = scheme.lb_policy();
@@ -47,14 +67,40 @@ pub fn build_fat_tree_cluster(
         k,
     } = build_fat_tree(&fabric_cfg);
 
-    let sink = telemetry::Sink::new(EVENT_RING_CAPACITY);
-    world.engine.attach_clock(sink.clock());
-    let switch_telem = netsim::telem::SwitchTelem::register(&sink);
+    let n_shards = n_shards.clamp(1, k);
+
+    let sinks: Vec<telemetry::Sink> = (0..n_shards)
+        .map(|_| telemetry::Sink::new(EVENT_RING_CAPACITY))
+        .collect();
+    world.engine.attach_clock(sinks[0].clock());
+    world.engine.attach_stamp(sinks[0].stamp());
+    let switch_telems: Vec<netsim::telem::SwitchTelem> = sinks
+        .iter()
+        .map(netsim::telem::SwitchTelem::register)
+        .collect();
+
+    // Pod-aligned partition: `edges` and `aggs` are pod-major (pod =
+    // index / (k/2)), so a pod's whole intra-pod star maps to one shard.
+    let m = k / 2;
+    let mut shard_of = vec![0u16; world.len() + 1]; // +1 for the driver slot
+    for (i, &edge) in edges.iter().enumerate() {
+        shard_of[edge.index()] = ((i / m) * n_shards / k) as u16;
+    }
+    for (i, &agg) in aggs.iter().enumerate() {
+        shard_of[agg.index()] = ((i / m) * n_shards / k) as u16;
+    }
+    for (i, &core) in cores.iter().enumerate() {
+        shard_of[core.index()] = (i % n_shards) as u16;
+    }
+    for att in &hosts {
+        shard_of[att.node.index()] = shard_of[att.tor.index()];
+    }
+
     for &sw_id in edges.iter().chain(aggs.iter()).chain(cores.iter()) {
         world
             .get_mut::<Switch>(sw_id)
             .expect("switch installed by builder")
-            .set_telemetry(switch_telem.clone());
+            .set_telemetry(switch_telems[shard_of[sw_id.index()] as usize].clone());
     }
 
     let m_bits = (k as u32 / 2).trailing_zeros();
@@ -88,23 +134,34 @@ pub fn build_fat_tree_cluster(
         // Direct egress cannot express the full path in 3 tiers; force
         // the two-tier PathMap for every Themis variant.
         themis_cfg.spray_mode = base.spray_mode;
-        let themis_telem = ThemisTelem::register(&sink);
+        let themis_telems: Vec<ThemisTelem> = sinks.iter().map(ThemisTelem::register).collect();
         for &edge in &edges {
             let sw = world.get_mut::<Switch>(edge).expect("edge installed");
             let mut mw = ThemisMiddleware::new(themis_cfg);
-            mw.set_telemetry(themis_telem.clone());
+            mw.set_telemetry(themis_telems[shard_of[edge.index()] as usize].clone());
             sw.set_hook(Box::new(mw));
         }
     }
 
-    let nic_telem = NicTelem::register(&sink);
+    let nic_telems: Vec<NicTelem> = sinks.iter().map(NicTelem::register).collect();
     for att in &hosts {
         let port = EgressPort::new(att.tor, att.tor_port, att.link);
         let mut nic = Nic::new(att.host, nic_cfg, port);
-        nic.set_telemetry(nic_telem.clone());
+        nic.set_telemetry(nic_telems[shard_of[att.node.index()] as usize].clone());
         world.install(att.node, Box::new(nic));
     }
     let driver = world.reserve();
+
+    if n_shards > 1 {
+        let lookahead = TimeDelta::from_nanos(
+            CONTROL_PLANE_LATENCY
+                .as_nanos()
+                .min(fabric_cfg.fabric_link.latency.as_nanos()),
+        );
+        let mut plan = ShardPlan::new(shard_of, n_shards, lookahead);
+        plan.telem = sinks.iter().map(|s| (s.clock(), s.stamp())).collect();
+        world.set_shard_plan(plan);
+    }
 
     let mut spines = aggs;
     spines.extend(cores);
@@ -117,7 +174,8 @@ pub fn build_fat_tree_cluster(
         driver,
         scheme,
         nic_cfg,
-        telemetry: sink,
+        telemetry: sinks[0].clone(),
+        sinks,
     }
 }
 

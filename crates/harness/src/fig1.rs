@@ -62,14 +62,35 @@ pub struct Fig1Result {
 /// Run the Fig 1 motivation experiment.
 ///
 /// `bytes_per_flow` is the paper's 100 MB at full scale; smaller values
-/// preserve the shape. Bin widths control series resolution.
+/// preserve the shape. Bin widths control series resolution. Shard count
+/// comes from `THEMIS_SHARDS` (see [`crate::knobs`]).
 pub fn run_fig1(
     transport: Fig1Transport,
     bytes_per_flow: u64,
     trace_bin: TimeDelta,
     seed: u64,
 ) -> Fig1Result {
+    run_fig1_sharded(
+        transport,
+        bytes_per_flow,
+        trace_bin,
+        seed,
+        crate::knobs::shards_from_env(),
+    )
+}
+
+/// [`run_fig1`] with an explicit engine shard count (1 = serial). The
+/// result — including the telemetry snapshot — is bit-identical for any
+/// shard count.
+pub fn run_fig1_sharded(
+    transport: Fig1Transport,
+    bytes_per_flow: u64,
+    trace_bin: TimeDelta,
+    seed: u64,
+    shards: usize,
+) -> Fig1Result {
     let mut cfg = ExperimentConfig::motivation_small(Scheme::RandomSpray, seed);
+    cfg.shards = shards;
     let line = cfg.fabric.host_link.bandwidth_bps;
     cfg.nic = match transport {
         Fig1Transport::NicSr => NicConfig::nic_sr(line),
@@ -84,7 +105,8 @@ pub fn run_fig1(
     }
     cfg.horizon = Nanos::from_secs(60);
 
-    let mut cluster = crate::cluster::build_cluster(&cfg.fabric, cfg.nic, cfg.scheme);
+    let mut cluster =
+        crate::cluster::build_cluster_sharded(&cfg.fabric, cfg.nic, cfg.scheme, cfg.shards);
     let groups = all_groups(cfg.fabric.n_leaves, cfg.fabric.hosts_per_leaf);
     let mut alloc = QpAllocator::new(seed ^ 0xF1_61);
     let mut driver = Driver::new();
@@ -171,7 +193,7 @@ pub fn run_fig1(
 
     let fabric = netsim::trace::fabric_summary(&cluster.world, &cluster.all_switches());
 
-    let mut telemetry = cluster.telemetry.snapshot();
+    let mut telemetry = cluster.snapshot_merged();
     telemetry.push_counter("agg.nic.data_packets", nics.data_packets);
     telemetry.push_counter("agg.nic.retx_packets", nics.retx_packets);
     telemetry.push_counter("agg.fabric.drops", fabric.total_drops());

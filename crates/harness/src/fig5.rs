@@ -40,10 +40,15 @@ pub struct Fig5Config {
     pub sweep: Vec<(u64, u64)>,
     /// Root seed.
     pub seed: u64,
+    /// Engine shards per cell (1 = serial; composes with the sweep's
+    /// `--jobs` fan-out, see [`crate::knobs`]). Cell results are
+    /// bit-identical for any value.
+    pub shards: usize,
 }
 
 impl Fig5Config {
-    /// The paper's configuration with a scaled buffer size.
+    /// The paper's configuration with a scaled buffer size. Shard count
+    /// comes from `THEMIS_SHARDS`.
     pub fn paper(collective: Collective, total_bytes: u64, seed: u64) -> Fig5Config {
         Fig5Config {
             collective,
@@ -51,6 +56,7 @@ impl Fig5Config {
             schemes: Scheme::PAPER_FIG5.to_vec(),
             sweep: CcConfig::paper_sweep().to_vec(),
             seed,
+            shards: crate::knobs::shards_from_env(),
         }
     }
 }
@@ -71,7 +77,8 @@ pub fn run_fig5_with(cfg: &Fig5Config, runner: SweepRunner) -> Vec<Fig5Point> {
         .flat_map(|&(ti, td)| cfg.schemes.iter().map(move |&s| (ti, td, s)))
         .collect();
     runner.run(&cells, |&(ti, td, scheme)| {
-        let exp = ExperimentConfig::paper_eval(scheme, ti, td, cfg.seed);
+        let mut exp = ExperimentConfig::paper_eval(scheme, ti, td, cfg.seed);
+        exp.shards = cfg.shards;
         let result = run_collective(&exp, cfg.collective, cfg.total_bytes);
         Fig5Point {
             ti_us: ti,
@@ -117,6 +124,7 @@ mod tests {
             schemes: vec![Scheme::Ecmp, Scheme::Themis],
             sweep: vec![(10, 4)],
             seed: 2,
+            shards: 1,
         };
         // Shrink the fabric via a custom run: reuse paper_eval but at this
         // scale the full 256-host build is still constructed; keep the

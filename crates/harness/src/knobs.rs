@@ -1,0 +1,124 @@
+//! Shared parsing of the harness parallelism knobs.
+//!
+//! The harness exposes **two orthogonal** parallelism axes, and every
+//! binary spells them the same way:
+//!
+//! * **`--jobs N` / `THEMIS_JOBS`** — *sweep-level* fan-out: how many
+//!   independent `(config, seed, scheme)` cells run concurrently, each
+//!   on its own worker thread with its own serial (or sharded) world.
+//!   See [`crate::sweep::SweepRunner`].
+//! * **`--shards N` / `THEMIS_SHARDS`** — *within-run* parallelism: how
+//!   many engine shards one simulation is partitioned into
+//!   (conservative-window parallel discrete-event execution, see
+//!   `netsim::world::ShardPlan`). Results are bit-identical to a serial
+//!   run for any shard count.
+//!
+//! The two **compose multiplicatively**: `--jobs 4 --shards 2` runs up
+//! to 8 simulation threads. Large sweeps of small cells want jobs
+//! (perfect scaling, zero synchronization); single big runs want shards
+//! (windowed barrier synchronization, but speeds up the one run you are
+//! waiting on). The CLI flag always wins over the environment variable,
+//! which wins over the default of 1.
+
+/// Value of a `usize` environment knob, or `default` when unset or
+/// unparsable.
+fn usize_from_env(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Sweep worker count from `THEMIS_JOBS` (default 1, clamped ≥ 1).
+pub fn jobs_from_env() -> usize {
+    usize_from_env("THEMIS_JOBS", 1).max(1)
+}
+
+/// Engine shard count from `THEMIS_SHARDS` (default 1 = serial,
+/// clamped ≥ 1). Partition builders additionally clamp to the topology's
+/// natural shard ceiling (leaf or pod count).
+pub fn shards_from_env() -> usize {
+    usize_from_env("THEMIS_SHARDS", 1).max(1)
+}
+
+/// Strip one `usize`-valued flag (either spelling) from an argument
+/// list. Returns the last parsed value, if any, and the remaining args.
+fn take_usize_arg(args: Vec<String>, long: &str, short: &str) -> (Option<usize>, Vec<String>) {
+    let mut value = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        if (args[i] == long || args[i] == short) && i + 1 < args.len() {
+            if let Ok(n) = args[i + 1].parse() {
+                value = Some(n);
+                i += 2;
+                continue;
+            }
+        }
+        rest.push(args[i].clone());
+        i += 1;
+    }
+    (value, rest)
+}
+
+/// Parse and remove `--jobs N` / `-j N` from an argument list; falls
+/// back to [`jobs_from_env`]. Returns the job count (≥ 1) and the
+/// remaining args.
+pub fn take_jobs_arg(args: Vec<String>) -> (usize, Vec<String>) {
+    let (v, rest) = take_usize_arg(args, "--jobs", "-j");
+    (v.unwrap_or_else(jobs_from_env).max(1), rest)
+}
+
+/// Parse and remove `--shards N` / `-s N` from an argument list; falls
+/// back to [`shards_from_env`]. Returns the shard count (≥ 1) and the
+/// remaining args.
+pub fn take_shards_arg(args: Vec<String>) -> (usize, Vec<String>) {
+    let (v, rest) = take_usize_arg(args, "--shards", "-s");
+    (v.unwrap_or_else(shards_from_env).max(1), rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn take_shards_arg_strips_flag() {
+        let (shards, rest) = take_shards_arg(argv(&["--mb", "4", "--shards", "2", "--seed", "1"]));
+        assert_eq!(shards, 2);
+        assert_eq!(rest, argv(&["--mb", "4", "--seed", "1"]));
+    }
+
+    #[test]
+    fn short_spelling_and_last_wins() {
+        let (shards, rest) = take_shards_arg(argv(&["-s", "2", "--shards", "3"]));
+        assert_eq!(shards, 3);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn shards_defaults_without_flag() {
+        if std::env::var("THEMIS_SHARDS").is_err() {
+            let (shards, rest) = take_shards_arg(argv(&["x"]));
+            assert_eq!(shards, 1);
+            assert_eq!(rest, argv(&["x"]));
+        }
+    }
+
+    #[test]
+    fn zero_clamps_to_one() {
+        let (jobs, _) = take_jobs_arg(argv(&["--jobs", "0"]));
+        assert_eq!(jobs, 1);
+        let (shards, _) = take_shards_arg(argv(&["--shards", "0"]));
+        assert_eq!(shards, 1);
+    }
+
+    #[test]
+    fn flag_missing_value_is_left_alone() {
+        let (_, rest) = take_shards_arg(argv(&["--shards"]));
+        assert_eq!(rest, argv(&["--shards"]));
+    }
+}

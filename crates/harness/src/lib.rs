@@ -16,6 +16,10 @@
 //! * [`report`] — plain-text tables and series for terminal output.
 //! * [`sweep`] — parallel fan-out of independent sweep cells
 //!   (`--jobs N` in the binaries), deterministic in cell order.
+//! * [`knobs`] — shared `--jobs`/`THEMIS_JOBS` and
+//!   `--shards`/`THEMIS_SHARDS` parsing, and how the two axes compose.
+//! * [`shrink`] — greedy delta-debugging (`ddmin`) shared by the fuzzer
+//!   and the parallel-engine property tests.
 //! * [`telemetry_out`] — `--telemetry` / `--trace-last` CLI plumbing
 //!   shared by the binaries (JSON report writing, event-ring dumps).
 
@@ -25,21 +29,25 @@ pub mod fat_tree;
 pub mod faults;
 pub mod fig1;
 pub mod fig5;
+pub mod knobs;
 pub mod oracle;
 pub mod report;
 pub mod scheme;
+pub mod shrink;
 pub mod sweep;
 pub mod telemetry_out;
 
-pub use cluster::{build_cluster, Cluster, ThemisAggregate};
+pub use cluster::{build_cluster, build_cluster_sharded, Cluster, ThemisAggregate};
 pub use experiment::{
     expected_delivered_bytes, planned_transfers, run_collective, run_collective_on,
     run_collective_with_faults, run_point_to_point, run_seed_sweep, Collective, ExperimentConfig,
     ExperimentResult, NicAggregate,
 };
-pub use fat_tree::build_fat_tree_cluster;
+pub use fat_tree::{build_fat_tree_cluster, build_fat_tree_cluster_sharded};
 pub use faults::{Fault, FaultEvent, FaultPlan, FaultSpace};
+pub use knobs::{jobs_from_env, shards_from_env, take_jobs_arg, take_shards_arg};
 pub use oracle::{assert_conformant, OracleConfig, OracleReport, Violation};
 pub use scheme::Scheme;
+pub use shrink::ddmin;
 pub use sweep::SweepRunner;
 pub use telemetry_out::{take_telemetry_args, TelemetryArgs};

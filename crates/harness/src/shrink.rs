@@ -1,0 +1,81 @@
+//! Greedy delta-debugging (`ddmin`) over an item list.
+//!
+//! Shared by the scenario fuzzer (shrinking failing fault plans) and
+//! the parallel-engine property tests (shrinking seed-event lists that
+//! trip the lookahead-safety checker). The algorithm drops ever-smaller
+//! chunks while the caller's predicate still fails, down to
+//! 1-minimality: removing any single remaining item makes the failure
+//! disappear.
+
+/// Shrink `items` to a 1-minimal failing subsequence.
+///
+/// `still_fails` must return `true` when the given candidate list still
+/// reproduces the failure; it is assumed to hold for `items` itself
+/// (callers check that before shrinking). Returns the shrunk list and
+/// the number of predicate evaluations spent.
+///
+/// The predicate is re-run on *candidates*, so it must be deterministic
+/// for the shrink result to be reproducible.
+pub fn ddmin<T: Clone>(items: &[T], mut still_fails: impl FnMut(&[T]) -> bool) -> (Vec<T>, usize) {
+    let mut events: Vec<T> = items.to_vec();
+    let mut runs = 0usize;
+    let mut chunk = events.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < events.len() {
+            let end = (start + chunk).min(events.len());
+            let mut candidate = events.clone();
+            candidate.drain(start..end);
+            runs += 1;
+            if still_fails(&candidate) {
+                events = candidate;
+                removed_any = true;
+                // Re-test from the same offset: the next chunk slid here.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    (events, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_single_culprit() {
+        let items: Vec<u32> = (0..32).collect();
+        let (min, _) = ddmin(&items, |c| c.contains(&17));
+        assert_eq!(min, vec![17]);
+    }
+
+    #[test]
+    fn shrinks_to_interacting_pair() {
+        let items: Vec<u32> = (0..16).collect();
+        let (min, _) = ddmin(&items, |c| c.contains(&3) && c.contains(&12));
+        assert_eq!(min, vec![3, 12]);
+    }
+
+    #[test]
+    fn keeps_everything_when_all_needed() {
+        let items = vec![1u32, 2, 3];
+        let (min, _) = ddmin(&items, |c| c.len() == 3);
+        assert_eq!(min, items);
+    }
+
+    #[test]
+    fn empty_failure_shrinks_to_empty() {
+        let items = vec![1u32, 2, 3, 4];
+        let (min, runs) = ddmin(&items, |_| true);
+        assert!(min.is_empty());
+        assert!(runs >= 1);
+    }
+}

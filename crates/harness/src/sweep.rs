@@ -40,13 +40,10 @@ impl SweepRunner {
     }
 
     /// A runner honouring the `THEMIS_JOBS` environment variable
-    /// (default 1; binaries let `--jobs` override it).
+    /// (default 1; binaries let `--jobs` override it). Parsing lives in
+    /// [`crate::knobs`], alongside the orthogonal `--shards` knob.
     pub fn from_env() -> SweepRunner {
-        let jobs = std::env::var("THEMIS_JOBS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(1);
-        SweepRunner::new(jobs)
+        SweepRunner::new(crate::knobs::jobs_from_env())
     }
 
     /// Configured worker count.
@@ -99,26 +96,9 @@ impl SweepRunner {
     }
 }
 
-/// Parse a `--jobs N` / `-j N` argument list fragment; helper shared by
-/// the binaries. Returns the parsed job count and the argument list
-/// with the flag removed.
-pub fn take_jobs_arg(args: Vec<String>) -> (usize, Vec<String>) {
-    let mut jobs = SweepRunner::from_env().jobs();
-    let mut rest = Vec::with_capacity(args.len());
-    let mut i = 0;
-    while i < args.len() {
-        if (args[i] == "--jobs" || args[i] == "-j") && i + 1 < args.len() {
-            if let Ok(n) = args[i + 1].parse() {
-                jobs = n;
-                i += 2;
-                continue;
-            }
-        }
-        rest.push(args[i].clone());
-        i += 1;
-    }
-    (jobs.max(1), rest)
-}
+/// Parse a `--jobs N` / `-j N` argument list fragment; re-exported from
+/// [`crate::knobs::take_jobs_arg`] for the binaries.
+pub use crate::knobs::take_jobs_arg;
 
 #[cfg(test)]
 mod tests {

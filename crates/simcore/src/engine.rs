@@ -54,6 +54,7 @@ pub struct Engine<T> {
     now: Nanos,
     dispatched: u64,
     clock: Option<telemetry::SharedClock>,
+    stamp: Option<telemetry::SharedStamp>,
     /// Events at or beyond this time are not dispatched.
     pub horizon: Nanos,
     /// Maximum number of events to dispatch (guard against runaway loops).
@@ -74,6 +75,7 @@ impl<T> Engine<T> {
             now: Nanos::ZERO,
             dispatched: 0,
             clock: None,
+            stamp: None,
             horizon: Nanos::MAX,
             max_events: u64::MAX,
         }
@@ -85,6 +87,14 @@ impl<T> Engine<T> {
     pub fn attach_clock(&mut self, clock: telemetry::SharedClock) {
         clock.set(self.now.as_nanos());
         self.clock = Some(clock);
+    }
+
+    /// Mirror the `(seq, lane)` key of the event being dispatched into a
+    /// telemetry [`telemetry::SharedStamp`], so structured event records
+    /// carry the canonical dispatch key. Together with the clock this lets
+    /// per-shard event rings be merged back into the exact serial order.
+    pub fn attach_stamp(&mut self, stamp: telemetry::SharedStamp) {
+        self.stamp = Some(stamp);
     }
 
     /// Current simulation time.
@@ -127,6 +137,68 @@ impl<T> Engine<T> {
         self.queue.push(at.max(self.now), payload);
     }
 
+    /// Schedule `payload` at absolute time `at` with a caller-assigned
+    /// `(seq, lane)` tie-break key (see [`EventQueue::push_keyed`]).
+    #[inline]
+    pub fn schedule_keyed(&mut self, at: Nanos, seq: u64, lane: u32, payload: T) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        self.queue.push_keyed(at.max(self.now), seq, lane, payload);
+    }
+
+    /// Delivery time of the earliest pending event, ignoring the horizon.
+    #[inline]
+    pub fn next_event_time(&self) -> Option<Nanos> {
+        self.queue.peek_time()
+    }
+
+    /// Drain every pending event in key order, resetting the queue.
+    /// Used to split a run across shards (and to merge it back).
+    pub fn take_pending(&mut self) -> Vec<Scheduled<T>> {
+        self.queue.drain_all()
+    }
+
+    /// Re-insert an event with its key preserved (counterpart of
+    /// [`Self::take_pending`]).
+    #[inline]
+    pub fn restore(&mut self, ev: Scheduled<T>) {
+        debug_assert!(ev.at >= self.now, "restoring into the past");
+        self.queue.restore(ev);
+    }
+
+    /// A fresh engine sharing this engine's clock position, horizon and
+    /// event budget, but with an empty queue, zero dispatch count, and no
+    /// telemetry attachments. Shards are forked off the main engine at the
+    /// start of a partitioned run.
+    pub fn fork(&self) -> Engine<T> {
+        Engine {
+            queue: EventQueue::new(),
+            now: self.now,
+            dispatched: 0,
+            clock: None,
+            stamp: None,
+            horizon: self.horizon,
+            max_events: self.max_events,
+        }
+    }
+
+    /// Fold a finished shard engine back into this one: the clock advances
+    /// to the later of the two, dispatch counts add, and any still-pending
+    /// events (e.g. beyond the horizon) return with their keys intact.
+    pub fn absorb(&mut self, mut other: Engine<T>) {
+        self.now = self.now.max(other.now);
+        if let Some(clock) = &self.clock {
+            clock.set(self.now.as_nanos());
+        }
+        self.dispatched += other.dispatched;
+        for ev in other.queue.drain_all() {
+            self.queue.restore(ev);
+        }
+    }
+
     /// Pop the next event and advance the clock to it.
     ///
     /// Returns `None` when the queue is empty, the horizon is reached, or
@@ -143,6 +215,9 @@ impl<T> Engine<T> {
                 self.now = ev.at;
                 if let Some(clock) = &self.clock {
                     clock.set(ev.at.as_nanos());
+                }
+                if let Some(stamp) = &self.stamp {
+                    stamp.set(ev.seq, ev.lane);
                 }
                 self.dispatched += 1;
                 Some(ev)
@@ -168,6 +243,9 @@ impl<T> Engine<T> {
             self.now = ev.at;
             if let Some(clock) = &self.clock {
                 clock.set(ev.at.as_nanos());
+            }
+            if let Some(stamp) = &self.stamp {
+                stamp.set(ev.seq, ev.lane);
             }
             self.dispatched += 1;
             if let Control::Stop = dispatch(self, ev) {

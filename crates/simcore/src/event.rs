@@ -1,10 +1,18 @@
 //! Time-ordered event queue with deterministic tie-breaking.
 //!
-//! The queue is keyed on `(time, seq)`, where `seq` is a monotonically
-//! increasing insertion counter. Two events scheduled for the same instant
-//! are therefore delivered in the order they were scheduled, which makes
-//! whole-simulation replays bit-identical — a property the test suite
-//! checks end-to-end.
+//! The queue is keyed on `(time, seq, lane)`. For plainly [`EventQueue::push`]ed
+//! events `seq` is a monotonically increasing insertion counter (and `lane`
+//! is 0), so two events scheduled for the same instant are delivered in the
+//! order they were scheduled, which makes whole-simulation replays
+//! bit-identical — a property the test suite checks end-to-end.
+//!
+//! [`EventQueue::push_keyed`] lets a higher layer assign the full key
+//! itself. The sharded parallel engine uses this: each scheduling entity
+//! (a `lane`) carries its own Lamport-style `seq` counter, which makes the
+//! key independent of *which engine* an event was pushed into — the
+//! property that lets a partitioned run dispatch in exactly the same
+//! canonical order as a serial run. The two push flavors must not be mixed
+//! on one queue unless the caller guarantees key uniqueness across both.
 //!
 //! ## Implementation: a paged timer wheel
 //!
@@ -48,15 +56,20 @@ const BITMAP_WORDS: usize = WHEEL_BUCKETS / 64;
 pub struct Scheduled<T> {
     /// Delivery time.
     pub at: Nanos,
-    /// Insertion sequence number; breaks ties deterministically.
+    /// Sequence number; breaks same-time ties deterministically. Plain
+    /// pushes draw it from a per-queue insertion counter; keyed pushes
+    /// carry a per-lane counter assigned by the caller.
     pub seq: u64,
+    /// Scheduling lane (the entity that pushed the event, in keyed mode).
+    /// Breaks (time, seq) ties across lanes; 0 for plain pushes.
+    pub lane: u32,
     /// The payload delivered to the dispatcher.
     pub payload: T,
 }
 
 impl<T> PartialEq for Scheduled<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.seq == other.seq && self.lane == other.lane
     }
 }
 impl<T> Eq for Scheduled<T> {}
@@ -74,6 +87,7 @@ impl<T> Ord for Scheduled<T> {
             .at
             .cmp(&self.at)
             .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.lane.cmp(&self.lane))
     }
 }
 
@@ -100,6 +114,8 @@ pub struct EventQueue<T> {
     /// Events at or beyond `page_end`.
     overflow: BinaryHeap<Scheduled<T>>,
     next_seq: u64,
+    /// Events ever inserted (plain or keyed).
+    total: u64,
     len: usize,
 }
 
@@ -116,6 +132,7 @@ impl<T> Default for EventQueue<T> {
             cursor: 0,
             overflow: BinaryHeap::new(),
             next_seq: 0,
+            total: 0,
             len: 0,
         }
     }
@@ -127,14 +144,61 @@ impl<T> EventQueue<T> {
         Self::default()
     }
 
-    /// Schedule `payload` for delivery at absolute time `at`.
+    /// Schedule `payload` for delivery at absolute time `at`, drawing the
+    /// tie-break key from the queue's own insertion counter (lane 0).
     #[inline]
     pub fn push(&mut self, at: Nanos, payload: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.insert(Scheduled {
+            at,
+            seq,
+            lane: 0,
+            payload,
+        });
+    }
+
+    /// Schedule `payload` with a caller-assigned `(seq, lane)` tie-break
+    /// key. The caller owns key uniqueness; the queue only orders.
+    #[inline]
+    pub fn push_keyed(&mut self, at: Nanos, seq: u64, lane: u32, payload: T) {
+        self.insert(Scheduled {
+            at,
+            seq,
+            lane,
+            payload,
+        });
+    }
+
+    /// Re-insert an event popped or drained from a queue, preserving its
+    /// original key. Used when redistributing events between the serial
+    /// engine and per-shard engines.
+    #[inline]
+    pub fn restore(&mut self, ev: Scheduled<T>) {
+        self.insert(ev);
+    }
+
+    /// Pop every pending event (in key order) and reset the paging state
+    /// so the queue accepts arbitrary future timestamps again. The
+    /// insertion counter survives, keeping later plain pushes unique.
+    pub fn drain_all(&mut self) -> Vec<Scheduled<T>> {
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        let next_seq = self.next_seq;
+        let total = self.total;
+        *self = Self::default();
+        self.next_seq = next_seq;
+        self.total = total;
+        out
+    }
+
+    #[inline]
+    fn insert(&mut self, ev: Scheduled<T>) {
         self.len += 1;
-        let ev = Scheduled { at, seq, payload };
-        let t = at.as_nanos();
+        self.total += 1;
+        let t = ev.at.as_nanos();
         if self.len == 1 && t > self.active_last && t <= self.page_last {
             // Empty queue: make this event the active window's upper
             // bound so it skips the wheel entirely. Safe because there
@@ -206,7 +270,7 @@ impl<T> EventQueue<T> {
     /// Total number of events ever scheduled on this queue.
     #[inline]
     pub fn scheduled_total(&self) -> u64 {
-        self.next_seq
+        self.total
     }
 
     /// Restore the invariant that `active` holds the earliest events
@@ -382,6 +446,43 @@ mod tests {
             }
         }
         assert_eq!(fired, 50);
+    }
+
+    #[test]
+    fn keyed_events_order_by_at_seq_lane() {
+        let mut q = EventQueue::new();
+        // Push in scrambled order; expect (at, seq, lane) pop order.
+        q.push_keyed(Nanos(10), 2, 0, "c");
+        q.push_keyed(Nanos(10), 1, 9, "b2");
+        q.push_keyed(Nanos(10), 1, 3, "b1");
+        q.push_keyed(Nanos(5), 7, 7, "a");
+        q.push_keyed(Nanos(20), 0, 0, "d");
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(got, ["a", "b1", "b2", "c", "d"]);
+    }
+
+    #[test]
+    fn drain_all_returns_key_order_and_resets() {
+        let mut q = EventQueue::new();
+        q.push(Nanos(3 * PAGE_SPAN), 30);
+        q.push(Nanos(5), 5);
+        q.push(Nanos(PAGE_SPAN + 1), 10);
+        // Advance paging state past the first bucket before draining.
+        assert_eq!(q.pop().unwrap().payload, 5);
+        let drained = q.drain_all();
+        assert_eq!(
+            drained.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec![10, 30]
+        );
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 3);
+        // A reset queue must accept timestamps below the old cursor again.
+        for ev in drained {
+            q.restore(ev);
+        }
+        q.push(Nanos(1), 1);
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(got, vec![1, 10, 30]);
     }
 
     #[test]

@@ -89,6 +89,36 @@ impl SharedClock {
     }
 }
 
+/// The `(seq, lane)` canonical key of the event currently being
+/// dispatched, mirrored by the engine alongside the [`SharedClock`].
+///
+/// Structured event records are stamped with it so rings recorded by
+/// different shards of a partitioned run can be merged back into the
+/// exact serial dispatch order: `(at_ns, seq, lane)` is a total order
+/// over dispatches. The stamp never reaches the JSON schema — it is
+/// merge metadata only.
+#[derive(Debug, Clone, Default)]
+pub struct SharedStamp(Rc<Cell<(u64, u32)>>);
+
+impl SharedStamp {
+    /// A stamp starting at `(0, 0)`.
+    pub fn new() -> SharedStamp {
+        SharedStamp::default()
+    }
+
+    /// The `(seq, lane)` key of the current dispatch.
+    #[inline]
+    pub fn get(&self) -> (u64, u32) {
+        self.0.get()
+    }
+
+    /// Set the current dispatch key (called by the engine).
+    #[inline]
+    pub fn set(&self, seq: u64, lane: u32) {
+        self.0.set((seq, lane));
+    }
+}
+
 #[derive(Debug)]
 struct SinkInner {
     registry: Registry,
@@ -104,6 +134,7 @@ struct SinkInner {
 #[derive(Debug, Clone)]
 pub struct Sink {
     clock: SharedClock,
+    stamp: SharedStamp,
     inner: Rc<RefCell<SinkInner>>,
 }
 
@@ -112,6 +143,7 @@ impl Sink {
     pub fn new(ring_capacity: usize) -> Sink {
         Sink {
             clock: SharedClock::new(),
+            stamp: SharedStamp::new(),
             inner: Rc::new(RefCell::new(SinkInner {
                 registry: Registry::new(),
                 ring: EventRing::new(ring_capacity),
@@ -123,6 +155,12 @@ impl Sink {
     /// simulation engine so it can mirror its time into it.
     pub fn clock(&self) -> SharedClock {
         self.clock.clone()
+    }
+
+    /// The dispatch-key stamp event records carry (see [`SharedStamp`]).
+    /// Hand this to the simulation engine alongside the clock.
+    pub fn stamp(&self) -> SharedStamp {
+        self.stamp.clone()
     }
 
     /// Register (or look up) a counter by name.
@@ -172,8 +210,11 @@ impl Sink {
     #[inline]
     pub fn event(&self, kind: EventKind, qp: u64, arg: u64) {
         let at_ns = self.clock.now();
+        let (seq, lane) = self.stamp.get();
         self.inner.borrow_mut().ring.push(EventRecord {
             at_ns,
+            seq,
+            lane,
             kind,
             qp,
             arg,

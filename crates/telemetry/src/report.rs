@@ -98,6 +98,10 @@ impl HistSnapshot {
 pub struct EventSnapshot {
     /// Simulated time of the event.
     pub at_ns: u64,
+    /// Dispatch-key `seq` (merge metadata; never serialized).
+    pub seq: u64,
+    /// Dispatch-key `lane` (merge metadata; never serialized).
+    pub lane: u32,
     /// Stable snake_case event label.
     pub kind: &'static str,
     /// QP / flow identifier (0 when not applicable).
@@ -155,6 +159,8 @@ impl RunReport {
                     .iter_in_order()
                     .map(|e: &EventRecord| EventSnapshot {
                         at_ns: e.at_ns,
+                        seq: e.seq,
+                        lane: e.lane,
                         kind: e.kind.label(),
                         qp: e.qp,
                         arg: e.arg,
@@ -194,6 +200,93 @@ impl RunReport {
         self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
         self.hists.sort_by(|a, b| a.0.cmp(&b.0));
     }
+
+    /// Merge per-shard snapshots of one partitioned run into the single
+    /// report the serial engine would have produced.
+    ///
+    /// Every shard sink registers the same instrument names, so the merge
+    /// is by name: counters sum, gauges keep their first occurrence (runs
+    /// record no gauges; exported gauges are appended after merging),
+    /// histograms add bin-wise, and event rings interleave by the
+    /// canonical dispatch key `(at_ns, seq, lane)` before re-truncating to
+    /// the ring capacity. The result is sorted by name.
+    pub fn merge(parts: Vec<RunReport>) -> RunReport {
+        let mut parts = parts.into_iter();
+        let mut merged = match parts.next() {
+            Some(first) => first,
+            None => return RunReport::new(),
+        };
+        for part in parts {
+            for (name, v) in part.counters {
+                match merged.counters.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, mv)) => *mv = mv.saturating_add(v),
+                    None => merged.counters.push((name, v)),
+                }
+            }
+            for (name, v) in part.gauges {
+                if !merged.gauges.iter().any(|(n, _)| *n == name) {
+                    merged.gauges.push((name, v));
+                }
+            }
+            for (name, h) in part.hists {
+                match merged.hists.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, mh)) => merge_hist(mh, h),
+                    None => merged.hists.push((name, h)),
+                }
+            }
+            merged.events.total += part.events.total;
+            merged.events.capacity = merged.events.capacity.max(part.events.capacity);
+            merged.events.ring.extend(part.events.ring);
+        }
+        // Stable sort: records of one dispatch share a key and stay in
+        // their recording order (a dispatch runs on exactly one shard).
+        merged.events.ring.sort_by_key(|e| (e.at_ns, e.seq, e.lane));
+        let cap = merged.events.capacity as usize;
+        if cap > 0 && merged.events.ring.len() > cap {
+            let cut = merged.events.ring.len() - cap;
+            merged.events.ring.drain(..cut);
+        }
+        merged.sort();
+        merged
+    }
+}
+
+/// Fold `from` into `into` bin-wise; both must share a bin width.
+fn merge_hist(into: &mut HistSnapshot, from: HistSnapshot) {
+    assert_eq!(
+        into.bin_width_ns, from.bin_width_ns,
+        "merging histograms with different bin widths"
+    );
+    into.count += from.count;
+    into.sum += from.sum;
+    into.clamped += from.clamped;
+    let mut a = std::mem::take(&mut into.bins).into_iter().peekable();
+    let mut b = from.bins.into_iter().peekable();
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) if x.start_ns == y.start_ns => {
+                let mut bin = a.next().expect("peeked");
+                let other = b.next().expect("peeked");
+                bin.count += other.count;
+                bin.sum += other.sum;
+                bin.min = bin.min.min(other.min);
+                bin.max = bin.max.max(other.max);
+                out.push(bin);
+            }
+            (Some(x), Some(y)) => {
+                if x.start_ns < y.start_ns {
+                    out.push(a.next().expect("peeked"));
+                } else {
+                    out.push(b.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(a.next().expect("peeked")),
+            (None, Some(_)) => out.push(b.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    into.bins = out;
 }
 
 /// A labelled collection of [`RunReport`]s that serializes to the
@@ -424,6 +517,8 @@ mod tests {
         let mut ring = EventRing::new(2);
         ring.push(EventRecord {
             at_ns: 5,
+            seq: 0,
+            lane: 0,
             kind: EventKind::NackBlocked,
             qp: 1,
             arg: 42,
@@ -438,6 +533,102 @@ mod tests {
         let json = rep.to_json();
         assert!(json.contains("\"nack_blocked\""));
         assert!(json.contains("\"pkt\": 3"));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_interleaves_rings() {
+        let ev = |at_ns, seq, lane, arg| EventSnapshot {
+            at_ns,
+            seq,
+            lane,
+            kind: "packet_drop",
+            qp: 0,
+            arg,
+        };
+        let mut a = RunReport::new();
+        a.push_counter("fabric.drops", 2);
+        a.push_counter("only.a", 1);
+        a.events.total = 2;
+        a.events.capacity = 4;
+        a.events.ring = vec![ev(10, 3, 0, 1), ev(30, 1, 2, 3)];
+        let mut b = RunReport::new();
+        b.push_counter("fabric.drops", 5);
+        b.events.total = 2;
+        b.events.capacity = 4;
+        b.events.ring = vec![ev(10, 3, 1, 2), ev(40, 0, 0, 4)];
+        let m = RunReport::merge(vec![a, b]);
+        assert_eq!(m.counter("fabric.drops"), Some(7));
+        assert_eq!(m.counter("only.a"), Some(1));
+        assert_eq!(m.events.total, 4);
+        let args: Vec<u64> = m.events.ring.iter().map(|e| e.arg).collect();
+        assert_eq!(args, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn merge_truncates_ring_to_capacity_keeping_latest() {
+        let ev = |at_ns| EventSnapshot {
+            at_ns,
+            seq: 0,
+            lane: 0,
+            kind: "rto_fired",
+            qp: 0,
+            arg: at_ns,
+        };
+        let mut a = RunReport::new();
+        a.events.capacity = 3;
+        a.events.total = 3;
+        a.events.ring = vec![ev(1), ev(3), ev(5)];
+        let mut b = RunReport::new();
+        b.events.capacity = 3;
+        b.events.total = 2;
+        b.events.ring = vec![ev(2), ev(4)];
+        let m = RunReport::merge(vec![a, b]);
+        assert_eq!(m.events.total, 5);
+        let at: Vec<u64> = m.events.ring.iter().map(|e| e.at_ns).collect();
+        assert_eq!(at, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn merge_folds_histogram_bins() {
+        let bin = |start_ns, count, sum, min, max| BinSnapshot {
+            start_ns,
+            count,
+            sum,
+            min,
+            max,
+        };
+        let mut a = RunReport::new();
+        a.hists.push((
+            "lat".to_string(),
+            HistSnapshot {
+                bin_width_ns: 100,
+                count: 2,
+                sum: 10,
+                clamped: 0,
+                bins: vec![bin(0, 1, 4, 4, 4), bin(200, 1, 6, 6, 6)],
+            },
+        ));
+        let mut b = RunReport::new();
+        b.hists.push((
+            "lat".to_string(),
+            HistSnapshot {
+                bin_width_ns: 100,
+                count: 2,
+                sum: 9,
+                clamped: 1,
+                bins: vec![bin(100, 1, 2, 2, 2), bin(200, 1, 7, 7, 7)],
+            },
+        ));
+        let m = RunReport::merge(vec![a, b]);
+        let h = &m.hists[0].1;
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 19);
+        assert_eq!(h.clamped, 1);
+        let starts: Vec<u64> = h.bins.iter().map(|b| b.start_ns).collect();
+        assert_eq!(starts, vec![0, 100, 200]);
+        assert_eq!(h.bins[2].count, 2);
+        assert_eq!(h.bins[2].min, 6);
+        assert_eq!(h.bins[2].max, 7);
     }
 
     #[test]

@@ -46,6 +46,12 @@ impl EventKind {
 pub struct EventRecord {
     /// Simulated time the event was recorded at.
     pub at_ns: u64,
+    /// `seq` of the dispatch that recorded the event (merge key for
+    /// sharded runs; not part of the JSON schema).
+    pub seq: u64,
+    /// `lane` of the dispatch that recorded the event (merge key for
+    /// sharded runs; not part of the JSON schema).
+    pub lane: u32,
     /// Event class.
     pub kind: EventKind,
     /// QP / flow identifier, or 0 when not applicable.
@@ -132,6 +138,8 @@ mod tests {
     fn ev(at: u64) -> EventRecord {
         EventRecord {
             at_ns: at,
+            seq: 0,
+            lane: 0,
             kind: EventKind::PacketDrop,
             qp: 0,
             arg: at,

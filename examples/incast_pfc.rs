@@ -31,6 +31,7 @@ fn main() {
             scheme: Scheme::Themis,
             seed: 77,
             horizon: Nanos::from_secs(5),
+            shards: themis::harness::shards_from_env(),
         };
         let (r, cluster) = themis::harness::run_collective_on(&cfg, Collective::Incast, 8 << 20);
         let pauses: u64 = cluster

@@ -7,11 +7,17 @@
 #   1. cargo fmt --check
 #   2. cargo build --release
 #   3. cargo test -q            (tier-1 suite)
-#   4. cargo doc --no-deps      (rustdoc warnings denied) + doctests
-#   5. fixed-seed conformance-fuzz smoke: themis_fuzz runs a bounded
-#      budget of fault scenarios under the protocol-invariant oracle.
-#   6. <30 s substrate smoke benchmark; fails if events_per_sec drops
-#      more than 30 % below the committed BENCH_substrate.json.
+#   4. THEMIS_SHARDS=2 matrix leg: the model checker, the oracle e2e
+#      suites, and PFC/failure runs repeated on the sharded engine —
+#      every assertion must hold bit-identically on both engines.
+#   5. cargo doc --no-deps      (rustdoc warnings denied) + doctests
+#   6. fixed-seed conformance-fuzz smoke: themis_fuzz runs a bounded
+#      budget of fault scenarios under the protocol-invariant oracle,
+#      then a second bounded budget on the sharded engine.
+#   7. <30 s substrate smoke benchmark; fails if events_per_sec or
+#      shard_merge_ops_per_sec drops more than 30 % below the committed
+#      BENCH_substrate.json. When the committed numbers were taken on
+#      >= 4 cores, also requires parallel_speedup_4c >= 2.0.
 #
 # The gate is relative to the committed JSON (absolute numbers vary by
 # machine); the smoke run uses a scaled-down workload via the
@@ -28,6 +34,14 @@ cargo build --release
 echo "== tests (tier 1) =="
 cargo test -q
 
+echo "== tests (sharded engine matrix leg, THEMIS_SHARDS=2) =="
+# The harness threads THEMIS_SHARDS into every ExperimentConfig, so this
+# reruns the model checker, the oracle e2e suites, and the PFC/failure
+# scenarios on the partitioned engine. Sharding is proven bit-identical
+# (tests/parallel_equivalence.rs), so identical assertions must pass.
+THEMIS_SHARDS=2 cargo test -q \
+    --test model_check --test collectives_e2e --test pfc --test dynamic_failure
+
 echo "== docs (rustdoc, warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
@@ -39,6 +53,12 @@ echo "== conformance fuzz smoke (fixed seed) =="
 # same fault plans, so a failure here is a real protocol regression and
 # the printed repro command reproduces it exactly.
 ./target/release/themis_fuzz --budget 60
+
+echo "== conformance fuzz smoke (fixed seed, sharded engine) =="
+# Same determinism argument, with every case partitioned over 2 shards:
+# exercises cross-shard channels, window barriers, and telemetry merge
+# under the full fault model.
+./target/release/themis_fuzz --budget 25 --shards 2
 
 echo "== substrate smoke bench =="
 SMOKE_JSON=$(mktemp /tmp/bench_substrate_smoke.XXXXXX.json)
@@ -72,6 +92,44 @@ awk -v b="$baseline" -v c="$current" 'BEGIN {
         exit 1
     }
     printf "OK: within the 30%% regression budget (floor %.0f)\n", floor
+}'
+
+merge_baseline=$(read_field BENCH_substrate.json shard_merge_ops_per_sec)
+merge_current=$(read_field "$SMOKE_JSON" shard_merge_ops_per_sec)
+if [ -z "$merge_baseline" ] || [ -z "$merge_current" ]; then
+    echo "FAIL: could not read shard_merge_ops_per_sec (baseline='$merge_baseline', current='$merge_current')"
+    exit 1
+fi
+
+echo "shard_merge_ops_per_sec: committed=$merge_baseline smoke=$merge_current"
+awk -v b="$merge_baseline" -v c="$merge_current" 'BEGIN {
+    floor = 0.70 * b
+    if (c < floor) {
+        printf "FAIL: shard_merge_ops_per_sec %.0f is below the 70%% regression floor %.0f\n", c, floor
+        exit 1
+    }
+    printf "OK: within the 30%% regression budget (floor %.0f)\n", floor
+}'
+
+# The >= 2x parallel-engine target only means anything with cores to
+# spend: enforce it against the committed numbers when they were taken
+# on a >= 4-core machine, and only report otherwise (this container has
+# cpus recorded in BENCH_substrate.json).
+cpus=$(read_field BENCH_substrate.json cpus)
+speedup=$(read_field BENCH_substrate.json parallel_speedup_4c)
+if [ -z "$cpus" ] || [ -z "$speedup" ]; then
+    echo "FAIL: could not read cpus/parallel_speedup_4c from BENCH_substrate.json"
+    exit 1
+fi
+awk -v cpus="$cpus" -v s="$speedup" 'BEGIN {
+    if (cpus >= 4 && s < 2.0) {
+        printf "FAIL: parallel_speedup_4c %.2fx < 2.0x on a %d-core machine\n", s, cpus
+        exit 1
+    }
+    if (cpus >= 4)
+        printf "OK: parallel_speedup_4c %.2fx meets the 2x target on %d cores\n", s, cpus
+    else
+        printf "note: parallel_speedup_4c %.2fx recorded on %d core(s); 2x gate needs >= 4\n", s, cpus
 }'
 
 echo "== ci.sh passed =="

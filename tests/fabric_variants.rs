@@ -33,6 +33,7 @@ fn run(fabric: LeafSpineConfig, scheme: Scheme, bytes: u64) -> themis::harness::
         scheme,
         seed: 71,
         horizon: Nanos::from_secs(2),
+        shards: themis::harness::shards_from_env(),
     };
     run_collective(&cfg, Collective::RingOnce, bytes)
 }
@@ -93,6 +94,7 @@ fn mtu_variants_work_end_to_end() {
             scheme: Scheme::Themis,
             seed: 71,
             horizon: Nanos::from_secs(2),
+            shards: themis::harness::shards_from_env(),
         };
         let r = run_collective(&cfg, Collective::RingOnce, 2 << 20);
         assert!(r.all_messages_completed(), "mtu {mtu}");
@@ -117,6 +119,7 @@ fn ack_coalescing_reduces_control_traffic() {
             scheme: Scheme::Themis,
             seed: 71,
             horizon: Nanos::from_secs(2),
+            shards: themis::harness::shards_from_env(),
         };
         let r = run_collective(&cfg, Collective::RingOnce, 2 << 20);
         assert!(r.all_messages_completed(), "coalescing {coalescing}");

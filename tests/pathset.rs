@@ -33,6 +33,7 @@ fn run_ring_with_pathset(pathset: Option<Vec<usize>>) -> themis::harness::Cluste
         scheme: Scheme::Themis,
         seed: 9,
         horizon: Nanos::from_secs(2),
+        shards: themis::harness::shards_from_env(),
     };
     let mut cluster = build_cluster(&cfg.fabric, cfg.nic, cfg.scheme);
     if let Some(ps) = pathset {

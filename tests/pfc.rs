@@ -36,6 +36,7 @@ fn run_incast(pfc: bool) -> themis::harness::ExperimentResult {
         scheme: Scheme::Themis,
         seed: 77,
         horizon: Nanos::from_secs(2),
+        shards: themis::harness::shards_from_env(),
     };
     let (r, cluster) =
         themis::harness::run_collective_on(&cfg, themis::harness::Collective::Incast, 8 << 20);
@@ -117,6 +118,7 @@ fn pfc_and_themis_compose_on_ring_traffic() {
         scheme: Scheme::Themis,
         seed: 77,
         horizon: Nanos::from_secs(2),
+        shards: themis::harness::shards_from_env(),
     };
     let (r, cluster) =
         themis::harness::run_collective_on(&cfg, themis::harness::Collective::RingOnce, 4 << 20);

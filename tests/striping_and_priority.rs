@@ -77,6 +77,7 @@ fn ctrl_priority_composes_with_themis() {
             scheme: Scheme::Themis,
             seed: 53,
             horizon: Nanos::from_secs(2),
+            shards: themis::harness::shards_from_env(),
         };
         let r = themis::harness::run_collective(&cfg, themis::harness::Collective::RingOnce, bytes);
         assert!(
