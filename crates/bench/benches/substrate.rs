@@ -25,18 +25,48 @@
 //!    new per-window cost the sharded engine adds at snapshot time.
 //!
 //! Environment knobs (all optional, for CI smoke runs):
-//!   `THEMIS_BENCH_FABRIC`      motivation | paper | both          [both]
+//!   `THEMIS_BENCH_FABRIC`      motivation | paper | x10 | both    [both]
 //!   `THEMIS_BENCH_MB`          motivation single-run size in MB   [64]
 //!   `THEMIS_BENCH_PAPER_MB`    paper single-run size in MB        [4]
 //!   `THEMIS_BENCH_SWEEP_MB`    per-cell sweep size in MB          [16]
 //!   `THEMIS_BENCH_PARALLEL_MB` parallel-scaling run size in MB    [2]
+//!   `THEMIS_BENCH_X10_KB`      x10 per-ring size in KB            [256]
+//!   `THEMIS_BENCH_X10_GROUPS`  x10 simultaneous rings             [64]
 //!   `THEMIS_BENCH_BUDGET`      measurement budget in seconds      [2.0]
 //!   `THEMIS_BENCH_OUT`         output path [<repo>/BENCH_substrate.json]
 
+use collectives::ring::ring_once;
+use netsim::fat_tree::FatTreeConfig;
+use rnic::NicConfig;
+use simcore::time::Nanos;
 use std::time::Instant;
 use themis_bench::harness::{write_json, Bench, JsonValue, Measurement};
+use themis_harness::oracle::{self, OracleConfig};
 use themis_harness::sweep::SweepRunner;
-use themis_harness::{run_collective, run_seed_sweep, Collective, ExperimentConfig, Scheme};
+use themis_harness::{
+    run_collective, run_fat_tree_rings, run_seed_sweep, Collective, ExperimentConfig, Scheme,
+};
+
+/// Resident set size from `/proc/self/status` (Linux), if available.
+fn rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Telemetry JSON with the `run.shards` execution-config echo removed —
+/// the one field that legitimately differs between a serial and a
+/// sharded run of the same cell.
+fn comparable_telemetry(label: &str, t: &telemetry::RunReport) -> String {
+    let mut rep = telemetry::Report::new();
+    rep.add_run(label, t.clone());
+    rep.to_json()
+        .lines()
+        .filter(|l| !l.contains("\"run.shards\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
 
 fn env_u64(key: &str, default: u64) -> u64 {
     std::env::var(key)
@@ -133,10 +163,19 @@ fn main() {
     // summing counters, folding histogram bins, and a k-way canonical
     // merge of per-shard event rings. Ops = ring events merged.
     //
-    // Measured before any fabric section on purpose: the big fabric
-    // runs leave the allocator warm and inflate this number ~2x, and
-    // the CI smoke config skips those sections — benching first keeps
-    // the committed and smoke numbers comparable.
+    // Pre-warm the allocator to the state a fabric run leaves behind:
+    // without this the number depends on section order (a cold
+    // allocator deflates it ~2x vs. post-run), so the committed
+    // (fabric=both) and CI smoke (fabric=motivation) figures were not
+    // comparable. One small motivation run plus a dropped slab churn
+    // puts both configurations on the same warm-heap footing.
+    {
+        let warm_cfg = ExperimentConfig::motivation_small(Scheme::RandomSpray, 99);
+        let r = run_collective(&warm_cfg, Collective::RingOnce, 1 << 20);
+        assert!(r.tail_ct.is_some(), "allocator warm-up run must complete");
+        let slab: Vec<Vec<u8>> = (0..64).map(|_| vec![0u8; 1 << 20]).collect();
+        drop(slab);
+    }
     const MERGE_SHARDS: usize = 4;
     const MERGE_EVENTS: u64 = 2_048;
     const MERGE_ITERS: u64 = 200;
@@ -197,7 +236,7 @@ fn main() {
 
     // ---- single-run throughput, motivation fabric ------------------
     let motivation_cfg = ExperimentConfig::motivation_small(Scheme::RandomSpray, 1);
-    if fabric != "paper" {
+    if fabric != "paper" && fabric != "x10" {
         let (single, packets) = bench_collective(
             &mut b,
             &format!("substrate/ring_{mb}mb_spray"),
@@ -235,7 +274,7 @@ fn main() {
     }
 
     // ---- single-run throughput, evaluation fabric ------------------
-    if fabric != "motivation" {
+    if fabric != "motivation" && fabric != "x10" {
         let paper_cfg = ExperimentConfig::paper_eval(Scheme::Themis, 900, 4, 1);
         let (single, packets) = bench_collective(
             &mut b,
@@ -260,32 +299,34 @@ fn main() {
     }
 
     // ---- sweep scaling ---------------------------------------------
-    let seeds: Vec<u64> = (1..=8).collect();
-    let sweep_bytes = sweep_mb << 20;
-    let (secs_j1, fp_j1) = time_sweep(&motivation_cfg, sweep_bytes, &seeds, 1);
-    let (secs_j4, fp_j4) = time_sweep(&motivation_cfg, sweep_bytes, &seeds, 4);
-    assert_eq!(fp_j1, fp_j4, "parallel sweep diverged from serial");
-    let speedup = secs_j1 / secs_j4;
-    println!("\nsweep: 8 cells x {sweep_mb} MB ring/spray");
-    println!("  --jobs 1 : {secs_j1:>8.3} s");
-    println!("  --jobs 4 : {secs_j4:>8.3} s   ({speedup:.2}x on {cpus} cpu(s))");
-    fields.extend([
-        (
-            "sweep_cells".to_string(),
-            JsonValue::Int(seeds.len() as u64),
-        ),
-        ("sweep_mb_per_cell".to_string(), JsonValue::Int(sweep_mb)),
-        ("sweep_secs_jobs1".to_string(), JsonValue::Num(secs_j1)),
-        ("sweep_secs_jobs4".to_string(), JsonValue::Num(secs_j4)),
-        ("sweep_speedup".to_string(), JsonValue::Num(speedup)),
-    ]);
+    if fabric != "x10" {
+        let seeds: Vec<u64> = (1..=8).collect();
+        let sweep_bytes = sweep_mb << 20;
+        let (secs_j1, fp_j1) = time_sweep(&motivation_cfg, sweep_bytes, &seeds, 1);
+        let (secs_j4, fp_j4) = time_sweep(&motivation_cfg, sweep_bytes, &seeds, 4);
+        assert_eq!(fp_j1, fp_j4, "parallel sweep diverged from serial");
+        let speedup = secs_j1 / secs_j4;
+        println!("\nsweep: 8 cells x {sweep_mb} MB ring/spray");
+        println!("  --jobs 1 : {secs_j1:>8.3} s");
+        println!("  --jobs 4 : {secs_j4:>8.3} s   ({speedup:.2}x on {cpus} cpu(s))");
+        fields.extend([
+            (
+                "sweep_cells".to_string(),
+                JsonValue::Int(seeds.len() as u64),
+            ),
+            ("sweep_mb_per_cell".to_string(), JsonValue::Int(sweep_mb)),
+            ("sweep_secs_jobs1".to_string(), JsonValue::Num(secs_j1)),
+            ("sweep_secs_jobs4".to_string(), JsonValue::Num(secs_j4)),
+            ("sweep_speedup".to_string(), JsonValue::Num(speedup)),
+        ]);
+    }
 
     // ---- parallel engine scaling -----------------------------------
     // The same 256-host paper-fabric run, serial vs 4 shards. The two
     // runs must agree to the byte (CSV fingerprint + telemetry JSON) —
     // this is the release-mode leg of tests/parallel_equivalence.rs —
     // and the timing ratio is the headline `parallel_speedup_4c`.
-    if fabric != "motivation" {
+    if fabric != "motivation" && fabric != "x10" {
         let parallel_mb = env_u64("THEMIS_BENCH_PARALLEL_MB", 2);
         let pcfg = ExperimentConfig::paper_eval(Scheme::Themis, 900, 4, 1);
         let time_shards = |shards: usize| -> (f64, String, String) {
@@ -299,9 +340,7 @@ fn main() {
                 let r = run_collective(&cfg, Collective::Alltoall, parallel_mb << 20);
                 best = best.min(t0.elapsed().as_secs_f64());
                 fp = format!("{},{}", r.to_csv_row(), r.events);
-                let mut rep = telemetry::Report::new();
-                rep.add_run("parallel", r.telemetry.clone());
-                json = rep.to_json();
+                json = comparable_telemetry("parallel", &r.telemetry);
             }
             (best, fp, json)
         };
@@ -318,6 +357,101 @@ fn main() {
             ("parallel_secs_shards1".to_string(), JsonValue::Num(secs_s1)),
             ("parallel_secs_shards4".to_string(), JsonValue::Num(secs_s4)),
             ("parallel_speedup_4c".to_string(), JsonValue::Num(speedup)),
+        ]);
+    }
+
+    // ---- paper_fabric_x10: the 10x fabric ---------------------------
+    // A k=16 fat-tree (1024 hosts, 64 hosts/pod) running simultaneous
+    // inter-pod rings — with the default 64 groups, *every host in the
+    // fabric* is an active ring member. The run is checked by the
+    // protocol-invariant oracle, its throughput lands in
+    // `x10_events_per_sec`, and the RSS the run adds, divided by the
+    // host count, lands in `x10_mb_per_host` (the whole-simulator
+    // memory footprint per simulated host — arena pools, interned route
+    // tables, NIC state, queues).
+    if fabric == "both" || fabric == "x10" {
+        let x10_kb = env_u64("THEMIS_BENCH_X10_KB", 256);
+        let fabric16 = FatTreeConfig::small(16);
+        let groups =
+            (env_u64("THEMIS_BENCH_X10_GROUPS", 64) as usize).clamp(1, fabric16.hosts_per_pod());
+        let nic16 = NicConfig::nic_sr(fabric16.host_link.bandwidth_bps);
+        let n_hosts = fabric16.n_hosts() as u64;
+        let rss0 = rss_bytes().unwrap_or(0);
+        let t0 = Instant::now();
+        let (r, cluster) = run_fat_tree_rings(
+            &fabric16,
+            nic16,
+            Scheme::Themis,
+            1,
+            1,
+            groups,
+            x10_kb << 10,
+            Nanos::from_secs(5),
+        );
+        let secs = t0.elapsed().as_secs_f64();
+        let rss1 = rss_bytes().unwrap_or(0);
+        assert!(r.tail_ct.is_some(), "x10 workload must complete");
+        assert_eq!(
+            r.group_cts.iter().filter(|c| c.is_some()).count(),
+            groups,
+            "every x10 ring must complete"
+        );
+        let expected: u64 = ring_once(16, x10_kb << 10)
+            .transfers
+            .iter()
+            .map(|t| t.bytes)
+            .sum::<u64>()
+            * groups as u64;
+        let judge = OracleConfig::for_scheme(Scheme::Themis).with_expected_bytes(expected);
+        let verdicts = oracle::check(&cluster, &judge);
+        assert!(
+            verdicts.is_empty(),
+            "x10 run must be oracle-conformant: {verdicts:?}"
+        );
+        drop(cluster);
+        let events_per_sec = r.events as f64 / secs;
+        let mb_per_host = rss1.saturating_sub(rss0) as f64 / (1 << 20) as f64 / n_hosts as f64;
+        println!("\npaper_fabric_x10: k=16, {n_hosts} hosts, {groups} rings x {x10_kb} KB themis");
+        println!("  {secs:>8.3} s   {events_per_sec:>12.0} events/s   {mb_per_host:.3} MB/host");
+        fields.extend([
+            ("x10_hosts".to_string(), JsonValue::Int(n_hosts)),
+            ("x10_groups".to_string(), JsonValue::Int(groups as u64)),
+            ("x10_kb_per_ring".to_string(), JsonValue::Int(x10_kb)),
+            ("x10_run_events".to_string(), JsonValue::Int(r.events)),
+            ("x10_secs".to_string(), JsonValue::Num(secs)),
+            (
+                "x10_events_per_sec".to_string(),
+                JsonValue::Num(events_per_sec),
+            ),
+            ("x10_mb_per_host".to_string(), JsonValue::Num(mb_per_host)),
+        ]);
+
+        // k=32 (8192 hosts): the build must stay cheap (parallel pod
+        // blueprints + interned route tables) and a short all-core
+        // workload must run without exhausting memory.
+        let fabric32 = FatTreeConfig::small(32);
+        let nic32 = NicConfig::nic_sr(fabric32.host_link.bandwidth_bps);
+        let t0 = Instant::now();
+        let (r32, cluster32) = run_fat_tree_rings(
+            &fabric32,
+            nic32,
+            Scheme::Themis,
+            1,
+            1,
+            2,
+            64 << 10,
+            Nanos::from_secs(5),
+        );
+        let secs32 = t0.elapsed().as_secs_f64();
+        assert!(r32.tail_ct.is_some(), "k=32 smoke must complete");
+        drop(cluster32);
+        println!(
+            "  k=32 smoke: 8192 hosts, 2 rings x 64 KB  {secs32:>8.3} s  ({} events)",
+            r32.events
+        );
+        fields.extend([
+            ("x32_smoke_secs".to_string(), JsonValue::Num(secs32)),
+            ("x32_smoke_events".to_string(), JsonValue::Int(r32.events)),
         ]);
     }
 

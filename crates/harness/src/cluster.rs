@@ -120,6 +120,78 @@ pub struct ThemisAggregate {
     pub memory_bytes: u64,
 }
 
+/// Compute the per-shard-pair lookahead matrix `λ[i][j]` (row-major,
+/// `n_shards × n_shards`, nanoseconds): the minimum latency of any
+/// message a shard-`i` entity can address to a shard-`j` entity.
+///
+/// Three message classes cross shards at runtime:
+/// * **Physical links** — every switch egress port and every NIC uplink
+///   whose peer lives on another shard contributes its propagation
+///   latency (serialization only adds on top, so the propagation alone
+///   is a sound lower bound, even under fault-injected extra delay).
+/// * **Control plane** — the driver exchanges setup/completion messages
+///   with every NIC at [`CONTROL_PLANE_LATENCY`].
+/// * **Oracle loss notifications** — with `oracle_loss_notify`, any
+///   switch may message any NIC's shard at [`CONTROL_PLANE_LATENCY`].
+///
+/// Pairs that never exchange messages stay `u64::MAX` (no constraint);
+/// the engine's min-plus closure handles the saturation. The diagonal is
+/// left unconstrained too: intra-shard events go straight into the local
+/// queue and self-influence via other shards is what the closure's cycle
+/// terms compute.
+pub(crate) fn lookahead_matrix(
+    world: &World,
+    shard_of: &[u16],
+    n_shards: usize,
+    driver: NodeId,
+    oracle_loss_notify: bool,
+) -> Vec<u64> {
+    let n = n_shards;
+    let mut lam = vec![u64::MAX; n * n];
+    let tighten = |lam: &mut Vec<u64>, from: usize, to: usize, nanos: u64| {
+        if from != to {
+            let e = &mut lam[from * n + to];
+            *e = (*e).min(nanos);
+        }
+    };
+    let cpl = CONTROL_PLANE_LATENCY.as_nanos();
+    let driver_shard = shard_of[driver.index()] as usize;
+    let mut shard_has_nic = vec![false; n];
+    for id in 0..world.len() {
+        let node = NodeId(id as u32);
+        let me = shard_of[id] as usize;
+        if let Some(sw) = world.get::<Switch>(node) {
+            for p in 0..sw.num_ports() {
+                let port = sw.port(p);
+                let peer = shard_of[port.peer.index()] as usize;
+                tighten(&mut lam, me, peer, port.link.latency.as_nanos());
+            }
+        } else if let Some(nic) = world.get::<Nic>(node) {
+            shard_has_nic[me] = true;
+            let port = nic.uplink();
+            let peer = shard_of[port.peer.index()] as usize;
+            tighten(&mut lam, me, peer, port.link.latency.as_nanos());
+            // Completion notifications NIC -> driver and control
+            // messages driver -> NIC.
+            tighten(&mut lam, me, driver_shard, cpl);
+            tighten(&mut lam, driver_shard, me, cpl);
+        }
+    }
+    if oracle_loss_notify {
+        for id in 0..world.len() {
+            if world.get::<Switch>(NodeId(id as u32)).is_some() {
+                let me = shard_of[id] as usize;
+                for (s, &has) in shard_has_nic.iter().enumerate() {
+                    if has {
+                        tighten(&mut lam, me, s, cpl);
+                    }
+                }
+            }
+        }
+    }
+    lam
+}
+
 /// Build a cluster: fabric per `fabric_cfg`, one NIC per host, Themis
 /// middleware on every ToR when the scheme calls for it, and a reserved
 /// driver slot.
@@ -243,14 +315,23 @@ pub fn build_cluster_sharded(
     let driver = world.reserve();
 
     if n_shards > 1 {
-        // Conservative lookahead: the cheapest cross-shard interaction is
-        // either a fabric hop or a control-plane message.
+        // Scalar fallback lookahead: the cheapest cross-shard interaction
+        // is either a fabric hop or a control-plane message. The per-pair
+        // matrix refines this for pairs joined only by costlier links.
         let lookahead = TimeDelta::from_nanos(
             CONTROL_PLANE_LATENCY
                 .as_nanos()
                 .min(fabric_cfg.fabric_link.latency.as_nanos()),
         );
+        let matrix = lookahead_matrix(
+            &world,
+            &shard_of,
+            n_shards,
+            driver,
+            fabric_cfg.oracle_loss_notify,
+        );
         let mut plan = ShardPlan::new(shard_of, n_shards, lookahead);
+        plan.set_lookahead_matrix(matrix);
         plan.telem = sinks.iter().map(|s| (s.clock(), s.stamp())).collect();
         world.set_shard_plan(plan);
     }

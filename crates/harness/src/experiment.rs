@@ -328,7 +328,7 @@ pub fn run_collective_with_faults(
     );
     plan.install(&mut cluster);
     cluster.world.run_until(cfg.horizon);
-    (collect_result(cfg, &cluster), cluster)
+    (collect_result(cfg.scheme, &cluster), cluster)
 }
 
 /// Predict, without running anything, the `(qp, n_psn)` streams
@@ -377,6 +377,56 @@ pub fn expected_delivered_bytes(
                 .sum::<u64>()
         })
         .sum()
+}
+
+/// Run `groups` simultaneous inter-pod rings on a fat-tree cluster:
+/// group `g` joins the host with pod-local index `g` from every pod into
+/// one `RingOnce` ring of `k` ranks. Every ring crosses the core layer
+/// (and, under sharding, every shard boundary); with
+/// `groups == (k/2)²` every host in the fabric participates. This is the
+/// workload of the `paper_fabric_x10` benchmark and its CI smoke leg.
+pub fn run_fat_tree_rings(
+    fabric_cfg: &netsim::fat_tree::FatTreeConfig,
+    nic_cfg: NicConfig,
+    scheme: Scheme,
+    seed: u64,
+    n_shards: usize,
+    groups: usize,
+    bytes_per_ring: u64,
+    horizon: Nanos,
+) -> (ExperimentResult, Cluster) {
+    let k = fabric_cfg.k;
+    let hosts_per_pod = (k / 2) * (k / 2);
+    assert!(
+        groups <= hosts_per_pod,
+        "at most one ring per pod-local host index ({hosts_per_pod})"
+    );
+    let mut cluster =
+        crate::fat_tree::build_fat_tree_cluster_sharded(fabric_cfg, nic_cfg, scheme, n_shards);
+    let mut alloc = QpAllocator::new(seed ^ 0xC0_11EC);
+    let mut driver = Driver::new();
+    for g in 0..groups {
+        let hosts: Vec<netsim::types::HostId> = (0..k)
+            .map(|p| netsim::types::HostId((p * hosts_per_pod + g) as u32))
+            .collect();
+        let spec = setup_collective(
+            &mut cluster.world,
+            cluster.driver,
+            &hosts,
+            ring_once(k, bytes_per_ring),
+            &mut alloc,
+        );
+        driver.add_instance(spec);
+    }
+    attach_driver_telemetry(&mut driver, &cluster);
+    cluster.world.install(cluster.driver, Box::new(driver));
+    cluster.world.seed_event(
+        Nanos::ZERO,
+        cluster.driver,
+        Event::Timer { token: START_TOKEN },
+    );
+    cluster.world.run_until(horizon);
+    (collect_result(scheme, &cluster), cluster)
 }
 
 /// Like [`run_collective_on`], discarding the cluster.
@@ -442,10 +492,10 @@ pub fn run_point_to_point(cfg: &ExperimentConfig, bytes: u64) -> ExperimentResul
         Event::Timer { token: START_TOKEN },
     );
     cluster.world.run_until(cfg.horizon);
-    collect_result(cfg, &cluster)
+    collect_result(cfg.scheme, &cluster)
 }
 
-fn collect_result(cfg: &ExperimentConfig, cluster: &Cluster) -> ExperimentResult {
+fn collect_result(scheme: Scheme, cluster: &Cluster) -> ExperimentResult {
     let driver: &Driver = cluster
         .world
         .get(cluster.driver)
@@ -464,7 +514,7 @@ fn collect_result(cfg: &ExperimentConfig, cluster: &Cluster) -> ExperimentResult
     let events = cluster.world.engine.dispatched();
     let sim_end = cluster.world.now();
     let mut result = ExperimentResult {
-        scheme: cfg.scheme,
+        scheme,
         tail_ct,
         group_cts,
         fabric,
@@ -525,6 +575,7 @@ fn snapshot_telemetry(r: &ExperimentResult, cluster: &Cluster) -> telemetry::Run
     t.push_counter("agg.nic.bytes_delivered", r.nics.bytes_delivered);
 
     t.push_counter("run.events", r.events);
+    t.push_counter("run.shards", cluster.sinks.len() as u64);
     t.push_counter("run.sim_end_ns", r.sim_end.as_nanos());
     t.push_gauge("run.goodput_gbps", r.aggregate_goodput_gbps());
     t.push_gauge(

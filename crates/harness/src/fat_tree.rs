@@ -158,7 +158,15 @@ pub fn build_fat_tree_cluster_sharded(
                 .as_nanos()
                 .min(fabric_cfg.fabric_link.latency.as_nanos()),
         );
+        let matrix = crate::cluster::lookahead_matrix(
+            &world,
+            &shard_of,
+            n_shards,
+            driver,
+            fabric_cfg.oracle_loss_notify,
+        );
         let mut plan = ShardPlan::new(shard_of, n_shards, lookahead);
+        plan.set_lookahead_matrix(matrix);
         plan.telem = sinks.iter().map(|s| (s.clock(), s.stamp())).collect();
         world.set_shard_plan(plan);
     }

@@ -11,7 +11,8 @@
 //!   many engine shards one simulation is partitioned into
 //!   (conservative-window parallel discrete-event execution, see
 //!   `netsim::world::ShardPlan`). Results are bit-identical to a serial
-//!   run for any shard count.
+//!   run for any shard count. The spelling `auto` picks the machine's
+//!   available parallelism (see [`auto_shards`]).
 //!
 //! The two **compose multiplicatively**: `--jobs 4 --shards 2` runs up
 //! to 8 simulation threads. Large sweeps of small cells want jobs
@@ -19,6 +20,24 @@
 //! (windowed barrier synchronization, but speeds up the one run you are
 //! waiting on). The CLI flag always wins over the environment variable,
 //! which wins over the default of 1.
+
+/// Shard count chosen by the `auto` spelling: the std runtime's view of
+/// available parallelism (respects cgroup CPU quotas), 1 when unknown.
+/// Partition builders further clamp to the topology's shard ceiling.
+pub fn auto_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parse one shard-count spelling: a plain integer or `auto`.
+fn parse_shards(s: &str) -> Option<usize> {
+    if s.eq_ignore_ascii_case("auto") {
+        Some(auto_shards())
+    } else {
+        s.parse().ok()
+    }
+}
 
 /// Value of a `usize` environment knob, or `default` when unset or
 /// unparsable.
@@ -35,21 +54,32 @@ pub fn jobs_from_env() -> usize {
 }
 
 /// Engine shard count from `THEMIS_SHARDS` (default 1 = serial,
-/// clamped ≥ 1). Partition builders additionally clamp to the topology's
-/// natural shard ceiling (leaf or pod count).
+/// clamped ≥ 1; `auto` = [`auto_shards`]). Partition builders
+/// additionally clamp to the topology's natural shard ceiling (leaf or
+/// pod count).
 pub fn shards_from_env() -> usize {
-    usize_from_env("THEMIS_SHARDS", 1).max(1)
+    std::env::var("THEMIS_SHARDS")
+        .ok()
+        .and_then(|s| parse_shards(&s))
+        .unwrap_or(1)
+        .max(1)
 }
 
-/// Strip one `usize`-valued flag (either spelling) from an argument
-/// list. Returns the last parsed value, if any, and the remaining args.
-fn take_usize_arg(args: Vec<String>, long: &str, short: &str) -> (Option<usize>, Vec<String>) {
+/// Strip one flag (either spelling) from an argument list, parsing its
+/// value with `parse`. Returns the last parsed value and the remaining
+/// args.
+fn take_value_arg(
+    args: Vec<String>,
+    long: &str,
+    short: &str,
+    parse: impl Fn(&str) -> Option<usize>,
+) -> (Option<usize>, Vec<String>) {
     let mut value = None;
     let mut rest = Vec::with_capacity(args.len());
     let mut i = 0;
     while i < args.len() {
         if (args[i] == long || args[i] == short) && i + 1 < args.len() {
-            if let Ok(n) = args[i + 1].parse() {
+            if let Some(n) = parse(&args[i + 1]) {
                 value = Some(n);
                 i += 2;
                 continue;
@@ -65,15 +95,15 @@ fn take_usize_arg(args: Vec<String>, long: &str, short: &str) -> (Option<usize>,
 /// back to [`jobs_from_env`]. Returns the job count (≥ 1) and the
 /// remaining args.
 pub fn take_jobs_arg(args: Vec<String>) -> (usize, Vec<String>) {
-    let (v, rest) = take_usize_arg(args, "--jobs", "-j");
+    let (v, rest) = take_value_arg(args, "--jobs", "-j", |s| s.parse().ok());
     (v.unwrap_or_else(jobs_from_env).max(1), rest)
 }
 
-/// Parse and remove `--shards N` / `-s N` from an argument list; falls
-/// back to [`shards_from_env`]. Returns the shard count (≥ 1) and the
-/// remaining args.
+/// Parse and remove `--shards N` / `-s N` (or `--shards auto`) from an
+/// argument list; falls back to [`shards_from_env`]. Returns the shard
+/// count (≥ 1) and the remaining args.
 pub fn take_shards_arg(args: Vec<String>) -> (usize, Vec<String>) {
-    let (v, rest) = take_usize_arg(args, "--shards", "-s");
+    let (v, rest) = take_value_arg(args, "--shards", "-s", parse_shards);
     (v.unwrap_or_else(shards_from_env).max(1), rest)
 }
 
@@ -114,6 +144,14 @@ mod tests {
         assert_eq!(jobs, 1);
         let (shards, _) = take_shards_arg(argv(&["--shards", "0"]));
         assert_eq!(shards, 1);
+    }
+
+    #[test]
+    fn auto_spelling_picks_available_parallelism() {
+        let (shards, rest) = take_shards_arg(argv(&["--shards", "auto", "--mb", "4"]));
+        assert_eq!(shards, auto_shards());
+        assert_eq!(rest, argv(&["--mb", "4"]));
+        assert!(auto_shards() >= 1);
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod telemetry_out;
 pub use cluster::{build_cluster, build_cluster_sharded, Cluster, ThemisAggregate};
 pub use experiment::{
     expected_delivered_bytes, planned_transfers, run_collective, run_collective_on,
-    run_collective_with_faults, run_point_to_point, run_seed_sweep, Collective, ExperimentConfig,
-    ExperimentResult, NicAggregate,
+    run_collective_with_faults, run_fat_tree_rings, run_point_to_point, run_seed_sweep, Collective,
+    ExperimentConfig, ExperimentResult, NicAggregate,
 };
 pub use fat_tree::{build_fat_tree_cluster, build_fat_tree_cluster_sharded};
 pub use faults::{Fault, FaultEvent, FaultPlan, FaultSpace};

@@ -1,0 +1,175 @@
+//! Arena-backed packet pool.
+//!
+//! Port queues at a congested switch can hold tens of thousands of
+//! packets; storing whole [`Packet`] values in per-port `VecDeque`s
+//! means every queue grows (and reallocates) to its own high-water mark
+//! and every enqueue/dequeue moves the full struct through ring-buffer
+//! memory that the allocator never recycles across ports. A
+//! [`PacketArena`] gives each switch (and each NIC) one pool of packet
+//! slots with a free list: queues store 8-byte generation-checked
+//! [`PacketRef`] handles, slots are recycled in LIFO order (hot in
+//! cache), and the pool's high-water mark is shared across all ports of
+//! the entity instead of being paid per port.
+//!
+//! Handles are *owning*: allocating returns a `PacketRef`, and exactly
+//! one [`PacketArena::take`] must consume it. The generation check turns
+//! any use-after-free or double-free in queue bookkeeping into an
+//! immediate panic instead of silent packet corruption.
+
+use crate::packet::Packet;
+
+/// Generation-checked handle to a packet slot in a [`PacketArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRef {
+    idx: u32,
+    generation: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    generation: u32,
+    pkt: Packet,
+}
+
+/// A pool of packet slots with free-list recycling.
+#[derive(Debug, Clone, Default)]
+pub struct PacketArena {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: u32,
+    peak_live: u32,
+}
+
+impl PacketArena {
+    /// An empty pool; slots are created on demand and recycled forever.
+    pub fn new() -> PacketArena {
+        PacketArena::default()
+    }
+
+    /// Store `pkt`, returning its owning handle.
+    pub fn alloc(&mut self, pkt: Packet) -> PacketRef {
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                slot.pkt = pkt;
+                PacketRef {
+                    idx,
+                    generation: slot.generation,
+                }
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("packet arena exhausted u32");
+                self.slots.push(Slot { generation: 0, pkt });
+                PacketRef { idx, generation: 0 }
+            }
+        }
+    }
+
+    /// Read a stored packet without consuming the handle.
+    ///
+    /// # Panics
+    /// Panics if the handle is stale (its slot was already taken).
+    pub fn get(&self, r: PacketRef) -> &Packet {
+        let slot = &self.slots[r.idx as usize];
+        assert_eq!(slot.generation, r.generation, "stale packet handle");
+        &slot.pkt
+    }
+
+    /// Remove and return the packet, recycling its slot.
+    ///
+    /// # Panics
+    /// Panics if the handle is stale (double free / use after free).
+    pub fn take(&mut self, r: PacketRef) -> Packet {
+        let slot = &mut self.slots[r.idx as usize];
+        assert_eq!(slot.generation, r.generation, "stale packet handle");
+        slot.generation = slot.generation.wrapping_add(1);
+        self.live -= 1;
+        self.free.push(r.idx);
+        slot.pkt
+    }
+
+    /// Packets currently stored.
+    pub fn live(&self) -> usize {
+        self.live as usize
+    }
+
+    /// High-water mark of simultaneously stored packets.
+    pub fn peak_live(&self) -> usize {
+        self.peak_live as usize
+    }
+
+    /// Slots ever created (live + recyclable).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Heap bytes held by the pool.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{HostId, QpId};
+
+    fn pkt(psn: u16) -> Packet {
+        Packet::data(
+            QpId(1),
+            HostId(0),
+            HostId(1),
+            7,
+            psn as u32,
+            0,
+            false,
+            1000,
+            false,
+        )
+    }
+
+    #[test]
+    fn alloc_take_roundtrip() {
+        let mut a = PacketArena::new();
+        let r0 = a.alloc(pkt(0));
+        let r1 = a.alloc(pkt(1));
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.get(r1).data_psn(), Some(1));
+        assert_eq!(a.take(r0).data_psn(), Some(0));
+        assert_eq!(a.take(r1).data_psn(), Some(1));
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.peak_live(), 2);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut a = PacketArena::new();
+        for i in 0..100u16 {
+            let r = a.alloc(pkt(i));
+            assert_eq!(a.take(r).data_psn(), Some(i as u32));
+        }
+        assert_eq!(a.capacity(), 1, "LIFO recycling reuses one slot");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet handle")]
+    fn double_take_is_caught() {
+        let mut a = PacketArena::new();
+        let r = a.alloc(pkt(0));
+        let _ = a.take(r);
+        let _ = a.take(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet handle")]
+    fn use_after_recycle_is_caught() {
+        let mut a = PacketArena::new();
+        let r = a.alloc(pkt(0));
+        let _ = a.take(r);
+        let _r2 = a.alloc(pkt(1)); // recycles the slot, new generation
+        let _ = a.get(r);
+    }
+}

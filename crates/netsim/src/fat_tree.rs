@@ -26,10 +26,11 @@
 
 use crate::lb::LbPolicy;
 use crate::port::{EcnConfig, EgressPort, LinkSpec};
-use crate::switch::{PfcConfig, RouteEntry, Switch, SwitchConfig};
+use crate::switch::{PfcConfig, RouteEntry, RouteTable, Switch, SwitchConfig};
 use crate::topology::HostAttachment;
 use crate::types::{HostId, NodeId, PortId};
 use crate::world::World;
+use std::sync::Arc;
 
 /// Hash-view shift used by the aggregation tier (edges use shift 0).
 pub const AGG_ECMP_SHIFT: u32 = 8;
@@ -124,8 +125,151 @@ impl FatTreePlan {
     }
 }
 
+/// One port to wire onto a switch: plain data, so pod blueprints can be
+/// produced on worker threads and instantiated on the main thread (the
+/// `Switch` itself is not `Send`).
+struct PortSpec {
+    peer: NodeId,
+    peer_in_port: PortId,
+    link: LinkSpec,
+    host_facing: bool,
+}
+
+/// Everything needed to instantiate one switch.
+struct SwitchBlueprint {
+    salt: u64,
+    ecmp_shift: u32,
+    ports: Vec<PortSpec>,
+    uplinks: Vec<usize>,
+    routes: RouteTable,
+}
+
+/// One pod's edge and aggregation switches.
+struct PodBlueprint {
+    edges: Vec<SwitchBlueprint>,
+    aggs: Vec<SwitchBlueprint>,
+}
+
+/// First entity slot of the edge tier: hosts occupy `0..n_hosts`, then
+/// edges, aggs, cores follow in installation order.
+fn edge_node(n_hosts: usize, i: usize) -> NodeId {
+    NodeId((n_hosts + i) as u32)
+}
+fn agg_node(n_hosts: usize, k: usize, i: usize) -> NodeId {
+    NodeId((n_hosts + k * (k / 2) + i) as u32)
+}
+fn core_node(n_hosts: usize, k: usize, i: usize) -> NodeId {
+    NodeId((n_hosts + 2 * k * (k / 2) + i) as u32)
+}
+
+/// Blueprint for pod `p`: all its edge and agg switches, with interned
+/// route tables (one shared "everything via uplinks" table for edges —
+/// their local hosts are a closed-form window — and one table for the
+/// whole pod's aggs).
+fn build_pod_blueprint(
+    cfg: &FatTreeConfig,
+    p: usize,
+    uplinks_only: &Arc<[RouteEntry]>,
+) -> PodBlueprint {
+    let k = cfg.k;
+    let m = k / 2;
+    let n_hosts = cfg.n_hosts();
+    let host_id = |e: usize, s: usize| p * m * m + e * m + s;
+
+    let pod_table: Arc<[RouteEntry]> = (0..n_hosts)
+        .map(|h| {
+            if h / (m * m) == p {
+                RouteEntry::Port(((h / m) % m) as u16)
+            } else {
+                RouteEntry::Uplinks
+            }
+        })
+        .collect();
+
+    let edges = (0..m)
+        .map(|e| {
+            let mut ports = Vec::with_capacity(2 * m);
+            // Host ports 0..m.
+            for s in 0..m {
+                ports.push(PortSpec {
+                    peer: NodeId(host_id(e, s) as u32),
+                    peer_in_port: PortId(0),
+                    link: cfg.host_link,
+                    host_facing: true,
+                });
+            }
+            // Uplinks m..2m: to each agg of this pod. Our packets arrive
+            // at agg (p, a) on its downlink port e.
+            for a in 0..m {
+                ports.push(PortSpec {
+                    peer: agg_node(n_hosts, k, p * m + a),
+                    peer_in_port: PortId(e as u16),
+                    link: cfg.fabric_link,
+                    host_facing: false,
+                });
+            }
+            SwitchBlueprint {
+                salt: (p * m + e) as u64,
+                ecmp_shift: 0,
+                ports,
+                uplinks: (m..2 * m).collect(),
+                routes: RouteTable::Interned {
+                    base: uplinks_only.clone(),
+                    start: host_id(e, 0) as u32,
+                    len: m as u32,
+                    first_port: 0,
+                },
+            }
+        })
+        .collect();
+
+    let aggs = (0..m)
+        .map(|a| {
+            let mut ports = Vec::with_capacity(2 * m);
+            // Downlinks 0..m to edges; our packets arrive at edge (p, e)
+            // on its uplink port m + a.
+            for e in 0..m {
+                ports.push(PortSpec {
+                    peer: edge_node(n_hosts, p * m + e),
+                    peer_in_port: PortId((m + a) as u16),
+                    link: cfg.fabric_link,
+                    host_facing: false,
+                });
+            }
+            // Uplinks m..2m to cores a*m + j; arrive at core port p.
+            for j in 0..m {
+                ports.push(PortSpec {
+                    peer: core_node(n_hosts, k, a * m + j),
+                    peer_in_port: PortId(p as u16),
+                    link: cfg.fabric_link,
+                    host_facing: false,
+                });
+            }
+            SwitchBlueprint {
+                salt: 10_000 + (p * m + a) as u64,
+                ecmp_shift: AGG_ECMP_SHIFT,
+                ports,
+                uplinks: (m..2 * m).collect(),
+                routes: RouteTable::Interned {
+                    base: pod_table.clone(),
+                    start: 0,
+                    len: 0,
+                    first_port: 0,
+                },
+            }
+        })
+        .collect();
+
+    PodBlueprint { edges, aggs }
+}
+
 /// Build a `k`-ary fat-tree. Host `h` (pod `h / m²`, edge `(h / m) % m`,
 /// slot `h % m`) occupies entity slot `NodeId(h)`.
+///
+/// Pods are laid out in parallel and all route tables are interned
+/// ([`RouteTable::Interned`]), so construction stays in the tens of
+/// milliseconds and a few MB even at k=32 (8192 hosts, 1280 switches),
+/// where dense per-switch tables alone would cost ~42 MB.
 pub fn build_fat_tree(cfg: &FatTreeConfig) -> FatTreePlan {
     let k = cfg.k;
     let m = k / 2;
@@ -142,52 +286,62 @@ pub fn build_fat_tree(cfg: &FatTreeConfig) -> FatTreePlan {
         assert_eq!(node.0 as usize, h, "host node-id convention violated");
     }
 
-    let mk_switch = |world: &mut World, salt: u64, shift: u32| {
-        world.add(Box::new(Switch::new(&SwitchConfig {
+    // Shared tables: every edge routes "everything via uplinks" outside
+    // its local-host window; every core steers each host to its pod.
+    let uplinks_only: Arc<[RouteEntry]> = (0..n_hosts).map(|_| RouteEntry::Uplinks).collect();
+    let core_table: Arc<[RouteEntry]> = (0..n_hosts)
+        .map(|h| RouteEntry::Port((h / (m * m)) as u16))
+        .collect();
+
+    // Pod blueprints in parallel (one thread per pod; plain data out).
+    let mut pods: Vec<Option<PodBlueprint>> = (0..k).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (p, slot) in pods.iter_mut().enumerate() {
+            let uplinks_only = &uplinks_only;
+            scope.spawn(move || {
+                *slot = Some(build_pod_blueprint(cfg, p, uplinks_only));
+            });
+        }
+    });
+    let mut pods: Vec<PodBlueprint> = pods
+        .into_iter()
+        .map(|p| p.expect("pod blueprint built"))
+        .collect();
+
+    let instantiate = |world: &mut World, bp: SwitchBlueprint| -> NodeId {
+        let mut sw = Switch::new(&SwitchConfig {
             buffer_bytes: cfg.buffer_bytes,
             lb: cfg.lb,
             oracle_loss_notify: cfg.oracle_loss_notify,
-            seed: cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(salt),
-            ecmp_shift: shift,
+            seed: cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(bp.salt),
+            ecmp_shift: bp.ecmp_shift,
             pfc: cfg.pfc,
             ctrl_priority: cfg.ctrl_priority,
-        })))
+        });
+        for ps in bp.ports {
+            sw.add_port(
+                EgressPort::new(ps.peer, ps.peer_in_port, ps.link),
+                ps.host_facing,
+            );
+        }
+        sw.set_uplinks(bp.uplinks);
+        sw.set_route_table(bp.routes);
+        if cfg.ecn {
+            sw.set_ecn_all_ports(|pt| Some(EcnConfig::for_bandwidth(pt.link.bandwidth_bps)));
+        }
+        world.add(Box::new(sw))
     };
 
-    let edges: Vec<NodeId> = (0..k * m)
-        .map(|i| mk_switch(&mut world, i as u64, 0))
-        .collect();
-    let aggs: Vec<NodeId> = (0..k * m)
-        .map(|i| mk_switch(&mut world, 10_000 + i as u64, AGG_ECMP_SHIFT))
-        .collect();
-    let cores: Vec<NodeId> = (0..m * m)
-        .map(|i| mk_switch(&mut world, 20_000 + i as u64, 0))
-        .collect();
-
+    // Installation order (edges, aggs, cores) must match the arithmetic
+    // node ids the blueprints were wired against.
     let mut hosts = Vec::with_capacity(n_hosts);
-
-    // Helper closures for index math.
-    let edge_idx = |p: usize, e: usize| p * m + e;
-    let agg_idx = |p: usize, a: usize| p * m + a;
-    let core_idx = |a: usize, j: usize| a * m + j;
-    let host_id = |p: usize, e: usize, s: usize| p * m * m + e * m + s;
-    let pod_of_host = |h: usize| h / (m * m);
-    let edge_of_host = |h: usize| (h / m) % m;
-
-    // ---- edges ------------------------------------------------------
-    for p in 0..k {
-        for e in 0..m {
-            let id = edges[edge_idx(p, e)];
-            let mut sw = Switch::new(&SwitchConfig::default());
-            std::mem::swap(world.get_mut::<Switch>(id).expect("edge"), &mut sw);
-            // Host ports 0..m.
+    let mut edges = Vec::with_capacity(k * m);
+    for (p, pod) in pods.iter_mut().enumerate() {
+        for (e, bp) in pod.edges.drain(..).enumerate() {
+            let id = instantiate(&mut world, bp);
+            assert_eq!(id, edge_node(n_hosts, p * m + e), "edge node-id drift");
             for s in 0..m {
-                let h = host_id(p, e, s);
-                let idx = sw.add_port(
-                    EgressPort::new(host_nodes[h], PortId(0), cfg.host_link),
-                    true,
-                );
-                debug_assert_eq!(idx, s);
+                let h = p * m * m + e * m + s;
                 hosts.push(HostAttachment {
                     host: HostId(h as u32),
                     node: host_nodes[h],
@@ -196,97 +350,46 @@ pub fn build_fat_tree(cfg: &FatTreeConfig) -> FatTreePlan {
                     link: cfg.host_link,
                 });
             }
-            // Uplinks m..2m: to each agg of this pod. Our packets arrive
-            // at agg (p, a) on its downlink port e.
-            let mut uplinks = Vec::with_capacity(m);
-            for a in 0..m {
-                let idx = sw.add_port(
-                    EgressPort::new(aggs[agg_idx(p, a)], PortId(e as u16), cfg.fabric_link),
-                    false,
-                );
-                uplinks.push(idx);
-            }
-            sw.set_uplinks(uplinks);
-            for h in 0..n_hosts {
-                let entry = if pod_of_host(h) == p && edge_of_host(h) == e {
-                    RouteEntry::Port((h % m) as u16)
-                } else {
-                    RouteEntry::Uplinks
-                };
-                sw.set_route(HostId(h as u32), entry);
-            }
-            if cfg.ecn {
-                sw.set_ecn_all_ports(|pt| Some(EcnConfig::for_bandwidth(pt.link.bandwidth_bps)));
-            }
-            std::mem::swap(world.get_mut::<Switch>(id).expect("edge"), &mut sw);
+            edges.push(id);
         }
     }
-
-    // ---- aggs -------------------------------------------------------
-    for p in 0..k {
-        for a in 0..m {
-            let id = aggs[agg_idx(p, a)];
-            let mut sw = Switch::new(&SwitchConfig::default());
-            std::mem::swap(world.get_mut::<Switch>(id).expect("agg"), &mut sw);
-            // Downlinks 0..m to edges; our packets arrive at edge (p, e)
-            // on its uplink port m + a.
-            for e in 0..m {
-                let idx = sw.add_port(
-                    EgressPort::new(
-                        edges[edge_idx(p, e)],
-                        PortId((m + a) as u16),
-                        cfg.fabric_link,
-                    ),
-                    false,
-                );
-                debug_assert_eq!(idx, e);
-            }
-            // Uplinks m..2m to cores a*m + j; arrive at core port p.
-            let mut uplinks = Vec::with_capacity(m);
-            for j in 0..m {
-                let idx = sw.add_port(
-                    EgressPort::new(cores[core_idx(a, j)], PortId(p as u16), cfg.fabric_link),
-                    false,
-                );
-                uplinks.push(idx);
-            }
-            sw.set_uplinks(uplinks);
-            for h in 0..n_hosts {
-                let entry = if pod_of_host(h) == p {
-                    RouteEntry::Port(edge_of_host(h) as u16)
-                } else {
-                    RouteEntry::Uplinks
-                };
-                sw.set_route(HostId(h as u32), entry);
-            }
-            if cfg.ecn {
-                sw.set_ecn_all_ports(|pt| Some(EcnConfig::for_bandwidth(pt.link.bandwidth_bps)));
-            }
-            std::mem::swap(world.get_mut::<Switch>(id).expect("agg"), &mut sw);
+    let mut aggs = Vec::with_capacity(k * m);
+    for (p, pod) in pods.iter_mut().enumerate() {
+        for (a, bp) in pod.aggs.drain(..).enumerate() {
+            let id = instantiate(&mut world, bp);
+            assert_eq!(id, agg_node(n_hosts, k, p * m + a), "agg node-id drift");
+            aggs.push(id);
         }
     }
-
-    // ---- cores ------------------------------------------------------
+    let mut cores = Vec::with_capacity(m * m);
     for a in 0..m {
         for j in 0..m {
-            let id = cores[core_idx(a, j)];
-            let mut sw = Switch::new(&SwitchConfig::default());
-            std::mem::swap(world.get_mut::<Switch>(id).expect("core"), &mut sw);
             // Port p towards agg (p, a); arrives at agg uplink port m + j.
-            for p in 0..k {
-                let idx = sw.add_port(
-                    EgressPort::new(aggs[agg_idx(p, a)], PortId((m + j) as u16), cfg.fabric_link),
-                    false,
-                );
-                debug_assert_eq!(idx, p);
-            }
-            for h in 0..n_hosts {
-                sw.set_route(HostId(h as u32), RouteEntry::Port(pod_of_host(h) as u16));
-            }
-            if cfg.ecn {
-                sw.set_ecn_all_ports(|pt| Some(EcnConfig::for_bandwidth(pt.link.bandwidth_bps)));
-            }
-            std::mem::swap(world.get_mut::<Switch>(id).expect("core"), &mut sw);
+            let ports = (0..k)
+                .map(|p| PortSpec {
+                    peer: agg_node(n_hosts, k, p * m + a),
+                    peer_in_port: PortId((m + j) as u16),
+                    link: cfg.fabric_link,
+                    host_facing: false,
+                })
+                .collect();
+            let id = instantiate(
+                &mut world,
+                SwitchBlueprint {
+                    salt: 20_000 + (a * m + j) as u64,
+                    ecmp_shift: 0,
+                    ports,
+                    uplinks: Vec::new(),
+                    routes: RouteTable::Interned {
+                        base: core_table.clone(),
+                        start: 0,
+                        len: 0,
+                        first_port: 0,
+                    },
+                },
+            );
+            assert_eq!(id, core_node(n_hosts, k, a * m + j), "core node-id drift");
+            cores.push(id);
         }
     }
 

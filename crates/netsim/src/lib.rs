@@ -23,6 +23,7 @@
 //! live in the `rnic` and `themis-core` crates and plug in through the
 //! [`world::Entity`] and [`hooks::TorHook`] traits.
 
+pub mod arena;
 pub mod event;
 pub mod fat_tree;
 pub mod hash;

@@ -10,6 +10,7 @@
 //! normally but never re-enter hooks, matching a real P4 pipeline where
 //! recirculated packets carry a "generated" flag.
 
+use crate::arena::PacketArena;
 use crate::event::{ControlMsg, Event};
 use crate::hooks::{HookCtx, ReverseAction, TorHook};
 use crate::lb::{LbPolicy, LbState};
@@ -31,6 +32,79 @@ pub enum RouteEntry {
     Uplinks,
     /// No route; packet is dropped and counted.
     None,
+}
+
+/// Storage backing a switch's per-destination routing table.
+///
+/// Regular fat-trees have massively redundant tables — every core shares
+/// one table, every aggregation switch in a pod shares one, and edge
+/// switches differ from "everything via uplinks" only on their handful
+/// of directly attached hosts. Interning those shared tables behind
+/// `Arc` (plus a closed-form local-host window for edges) collapses the
+/// k=32 route state from `1280 switches × 8192 hosts` dense entries
+/// (~42 MB) to ~1 MB, and the `Arc`s are read-only during a run so
+/// sharded execution shares them safely across threads.
+#[derive(Debug, Clone)]
+pub enum RouteTable {
+    /// One privately owned entry per destination (default; grown lazily
+    /// by [`Switch::set_route`]).
+    Dense(Vec<RouteEntry>),
+    /// `base[dst]` for every destination except hosts in
+    /// `[start, start + len)`, which map to consecutive ports
+    /// `first_port + (dst - start)` (an edge switch's directly attached
+    /// hosts). `len == 0` degenerates to a pure shared table.
+    Interned {
+        /// The shared table (typically one per pod or per tier).
+        base: std::sync::Arc<[RouteEntry]>,
+        /// First destination handled by the local window.
+        start: u32,
+        /// Number of consecutive destinations in the local window.
+        len: u32,
+        /// Port for destination `start`; subsequent destinations use
+        /// subsequent ports.
+        first_port: u16,
+    },
+}
+
+impl RouteTable {
+    /// The routing decision for `dst`.
+    #[inline]
+    pub fn lookup(&self, dst: usize) -> RouteEntry {
+        match self {
+            RouteTable::Dense(v) => v.get(dst).copied().unwrap_or(RouteEntry::None),
+            RouteTable::Interned {
+                base,
+                start,
+                len,
+                first_port,
+            } => {
+                let d = dst as u64;
+                if d >= *start as u64 && d < *start as u64 + *len as u64 {
+                    RouteEntry::Port(first_port + (dst as u32 - start) as u16)
+                } else {
+                    base.get(dst).copied().unwrap_or(RouteEntry::None)
+                }
+            }
+        }
+    }
+
+    /// Heap bytes privately owned by this table (shared `Arc` storage is
+    /// excluded; count it once via [`Self::shared_table`]).
+    pub fn owned_heap_bytes(&self) -> usize {
+        match self {
+            RouteTable::Dense(v) => v.capacity() * std::mem::size_of::<RouteEntry>(),
+            RouteTable::Interned { .. } => 0,
+        }
+    }
+
+    /// The shared backing table, when interned (memory accounting:
+    /// deduplicate by `Arc::as_ptr`).
+    pub fn shared_table(&self) -> Option<&std::sync::Arc<[RouteEntry]>> {
+        match self {
+            RouteTable::Interned { base, .. } => Some(base),
+            RouteTable::Dense(_) => None,
+        }
+    }
 }
 
 /// Hop-by-hop priority-flow-control thresholds on the shared buffer.
@@ -121,7 +195,7 @@ pub struct SwitchStats {
 pub struct Switch {
     ports: Vec<EgressPort>,
     host_facing: Vec<bool>,
-    routes: Vec<RouteEntry>,
+    routes: RouteTable,
     uplinks: Vec<usize>,
     lb: LbPolicy,
     lb_state: LbState,
@@ -140,6 +214,8 @@ pub struct Switch {
     /// Forwarding statistics.
     pub stats: SwitchStats,
     emit_scratch: Vec<Packet>,
+    /// Pool backing every port queue of this switch.
+    arena: PacketArena,
 }
 
 impl Switch {
@@ -148,7 +224,7 @@ impl Switch {
         Switch {
             ports: Vec::new(),
             host_facing: Vec::new(),
-            routes: Vec::new(),
+            routes: RouteTable::Dense(Vec::new()),
             uplinks: Vec::new(),
             lb: cfg.lb,
             lb_state: LbState::new(cfg.seed, cfg.ecmp_shift),
@@ -166,6 +242,7 @@ impl Switch {
             pfc_upstream_paused: false,
             stats: SwitchStats::default(),
             emit_scratch: Vec::new(),
+            arena: PacketArena::new(),
         }
     }
 
@@ -211,11 +288,37 @@ impl Switch {
     }
 
     /// Set the route for `dst`.
+    ///
+    /// An interned table is materialized into a private dense copy first
+    /// (route surgery is a cold path; interning only matters for the
+    /// untouched regular fabric).
     pub fn set_route(&mut self, dst: HostId, entry: RouteEntry) {
-        if self.routes.len() <= dst.index() {
-            self.routes.resize(dst.index() + 1, RouteEntry::None);
+        if let RouteTable::Interned { .. } = self.routes {
+            let max_dst = match self.routes.shared_table() {
+                Some(base) => base.len().max(dst.index() + 1),
+                None => dst.index() + 1,
+            };
+            let dense: Vec<RouteEntry> = (0..max_dst).map(|d| self.routes.lookup(d)).collect();
+            self.routes = RouteTable::Dense(dense);
         }
-        self.routes[dst.index()] = entry;
+        let RouteTable::Dense(routes) = &mut self.routes else {
+            unreachable!("interned table materialized above");
+        };
+        if routes.len() <= dst.index() {
+            routes.resize(dst.index() + 1, RouteEntry::None);
+        }
+        routes[dst.index()] = entry;
+    }
+
+    /// Replace the whole routing table (topology builders interning
+    /// shared tables across switches).
+    pub fn set_route_table(&mut self, table: RouteTable) {
+        self.routes = table;
+    }
+
+    /// The routing table (memory accounting, inspection).
+    pub fn route_table(&self) -> &RouteTable {
+        &self.routes
     }
 
     /// Install ToR middleware.
@@ -337,6 +440,11 @@ impl Switch {
 
     /// Install a telemetry handle; drop/ECN/hook counters and drop
     /// events are reported into it live alongside [`SwitchStats`].
+    /// The packet pool backing this switch's port queues.
+    pub fn arena(&self) -> &PacketArena {
+        &self.arena
+    }
+
     pub fn set_telemetry(&mut self, telem: crate::telem::SwitchTelem) {
         self.telem = Some(telem);
     }
@@ -438,11 +546,7 @@ impl Switch {
         in_port: PortId,
         ctx: &mut Ctx<'_>,
     ) {
-        let entry = self
-            .routes
-            .get(pkt.dst.index())
-            .copied()
-            .unwrap_or(RouteEntry::None);
+        let entry = self.routes.lookup(pkt.dst.index());
         let egress = match entry {
             RouteEntry::Port(p) => p as usize,
             RouteEntry::Uplinks => {
@@ -505,6 +609,7 @@ impl Switch {
             ctx,
             Some(&mut self.buffer),
             &mut self.rng,
+            &mut self.arena,
         );
         match outcome {
             EnqueueOutcome::TxStarted | EnqueueOutcome::Queued => {
@@ -588,14 +693,15 @@ impl Entity for Switch {
                 // Split borrow: take the port out to satisfy the borrow
                 // checker cheaply (ports are small).
                 let _departed = {
-                    let (ports, buffer) = (&mut self.ports, &mut self.buffer);
-                    ports[idx].on_tx_done(port, ctx, Some(buffer))
+                    let (ports, buffer, arena) =
+                        (&mut self.ports, &mut self.buffer, &mut self.arena);
+                    ports[idx].on_tx_done(port, ctx, Some(buffer), arena)
                 };
                 self.check_pfc(ctx);
             }
             Event::Pfc { in_port, pause } => {
                 if let Some(p) = self.ports.get_mut(in_port.index()) {
-                    p.set_paused(pause, in_port, ctx);
+                    p.set_paused(pause, in_port, ctx, &mut self.arena);
                 }
             }
             Event::Control(ControlMsg::TorLinkFailure) => {

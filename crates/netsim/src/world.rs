@@ -64,13 +64,14 @@ enum SchedHandle<'a> {
     /// Serial run: everything lands in the one engine.
     Serial(&'a mut Engine<Routed>),
     /// Sharded run: local events land in this shard's engine, events for
-    /// entities owned by another shard go to that shard's outbox (drained
-    /// at the next window boundary).
+    /// entities owned by another shard are staged in a worker-local
+    /// per-destination buffer (`stage[dst]`), flushed into the shared
+    /// outboxes once per window so the hot path never takes a lock.
     Shard {
         engine: &'a mut Engine<Routed>,
         owner: &'a [u16],
         me: u16,
-        outbox: &'a [Mutex<Vec<Scheduled<Routed>>>],
+        stage: &'a mut [Vec<Scheduled<Routed>>],
     },
 }
 
@@ -121,21 +122,18 @@ impl<'a> Ctx<'a> {
                 engine,
                 owner,
                 me,
-                outbox,
+                stage,
             } => {
                 let dest = owner[to.index()];
                 if dest == *me {
                     engine.schedule_keyed(at, seq, lane, payload);
                 } else {
-                    outbox[dest as usize]
-                        .lock()
-                        .expect("shard outbox poisoned")
-                        .push(Scheduled {
-                            at,
-                            seq,
-                            lane,
-                            payload,
-                        });
+                    stage[dest as usize].push(Scheduled {
+                        at,
+                        seq,
+                        lane,
+                        payload,
+                    });
                 }
             }
         }
@@ -189,7 +187,8 @@ impl<'a> Ctx<'a> {
 pub struct LookaheadViolation {
     /// Timestamp of the late event.
     pub at_ns: u64,
-    /// The window barrier (`M + lookahead`) it should have cleared.
+    /// The receiver's window barrier it should have cleared
+    /// (`min_k(next_k + reach[k][receiver])`).
     pub window_end_ns: u64,
     /// Shard that sent the event.
     pub from_shard: u16,
@@ -211,8 +210,14 @@ pub struct ShardPlan {
     /// of *every* cross-shard edge. Partition builders derive it from
     /// `min(link latency, CONTROL_PLANE_LATENCY)` over cut edges;
     /// declaring it larger than the true minimum is unsound and is caught
-    /// by the always-on lookahead-safety check.
+    /// by the always-on lookahead-safety check. Used as a uniform λ
+    /// matrix unless [`Self::set_lookahead_matrix`] installed a sharper
+    /// per-pair one.
     pub lookahead: TimeDelta,
+    /// Per-pair direct lookahead matrix, row-major `n_shards × n_shards`:
+    /// `λ[i * n + j]` lower-bounds the latency of every edge crossing
+    /// shard `i` → shard `j` (`u64::MAX` when no such edge exists).
+    lookahead_matrix: Option<Vec<u64>>,
     /// Per-shard telemetry attachments `(clock, stamp)`, mirrored into
     /// each shard engine so per-shard sinks stamp records correctly.
     pub telem: Vec<(telemetry::SharedClock, telemetry::SharedStamp)>,
@@ -242,9 +247,72 @@ impl ShardPlan {
             owner,
             n_shards,
             lookahead,
+            lookahead_matrix: None,
             telem: Vec::new(),
             violations: None,
         }
+    }
+
+    /// Install a per-pair direct lookahead matrix (row-major
+    /// `n_shards × n_shards` nanoseconds): `λ[i][j]` must lower-bound the
+    /// delivery latency of every edge crossing shard `i` → shard `j`;
+    /// use `u64::MAX` for pairs with no crossing edge. Sharper than the
+    /// uniform [`Self::lookahead`]: each shard's window extends to
+    /// `min_k(next_k + reach[k][me])` where `reach` is the min-plus
+    /// closure of `λ`, instead of `global_min + uniform_lookahead`.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not `n_shards²` entries or contains a zero
+    /// (a zero-latency cross-shard edge admits no conservative window).
+    pub fn set_lookahead_matrix(&mut self, matrix: Vec<u64>) {
+        assert_eq!(
+            matrix.len(),
+            self.n_shards * self.n_shards,
+            "lookahead matrix must be n_shards x n_shards"
+        );
+        assert!(
+            matrix.iter().all(|&l| l > 0),
+            "cross-shard lookahead entries must be positive"
+        );
+        self.lookahead_matrix = Some(matrix);
+    }
+
+    /// The installed per-pair direct lookahead matrix, if any.
+    pub fn lookahead_matrix(&self) -> Option<&[u64]> {
+        self.lookahead_matrix.as_deref()
+    }
+
+    /// The min-plus closure of the effective lookahead matrix: `B[k][i]`
+    /// is the smallest total latency of any ≥1-edge path of cross-shard
+    /// hops from shard `k` to shard `i` (diagonal = shortest cycle). The
+    /// window bound must use this closure rather than the direct matrix:
+    /// an idle shard can be woken by a neighbor next round and relay a
+    /// low-latency event the round after, so shard `i` may only dispatch
+    /// below `min_k(next_k + B[k][i])`.
+    fn reachability(&self) -> Vec<u64> {
+        let n = self.n_shards;
+        let mut b = match &self.lookahead_matrix {
+            Some(m) => m.clone(),
+            None => vec![self.lookahead.as_nanos(); n * n],
+        };
+        // Floyd–Warshall in the (min, +) semiring without zeroing the
+        // diagonal, which yields min-weight non-empty walks (all entries
+        // are positive, so these equal simple paths / simple cycles).
+        for via in 0..n {
+            for src in 0..n {
+                let through = b[src * n + via];
+                if through == u64::MAX {
+                    continue;
+                }
+                for dst in 0..n {
+                    let cand = through.saturating_add(b[via * n + dst]);
+                    if cand < b[src * n + dst] {
+                        b[src * n + dst] = cand;
+                    }
+                }
+            }
+        }
+        b
     }
 }
 
@@ -253,6 +321,9 @@ struct ShardState {
     engine: Engine<Routed>,
     slots: Vec<Option<Box<dyn Entity>>>,
     lane_seq: Vec<u64>,
+    /// Worker-local cross-shard staging, one buffer per destination
+    /// shard; flushed into the shared outboxes once per window.
+    stage: Vec<Vec<Scheduled<Routed>>>,
 }
 
 /// Wrapper that moves a [`ShardState`] onto a worker thread.
@@ -286,7 +357,9 @@ struct ShardCtx<'a> {
     me: usize,
     n: usize,
     horizon: Nanos,
-    lookahead: u64,
+    /// Min-plus closure of the lookahead matrix
+    /// ([`ShardPlan::reachability`]), row-major `n × n`.
+    reach: &'a [u64],
     /// Each shard's next-event time (u64::MAX = idle), published before
     /// the window barrier.
     mins: &'a [AtomicU64],
@@ -348,6 +421,11 @@ impl World {
             self.slots.len()
         );
         self.shard_plan = Some(plan);
+    }
+
+    /// The installed shard plan, if any (partition inspection / tests).
+    pub fn shard_plan(&self) -> Option<&ShardPlan> {
+        self.shard_plan.as_ref()
     }
 
     /// Current simulation time.
@@ -477,14 +555,18 @@ impl World {
     /// [`ShardPlan`], using conservative time windows.
     ///
     /// Protocol, per round: every shard publishes its next event time and
-    /// meets at a barrier; the global minimum `M` defines the window
-    /// `[M, M + lookahead)`. Each shard dispatches its local events inside
-    /// the window — cross-shard sends divert into per-destination
-    /// outboxes — then meets at a second barrier and drains its inbox
-    /// (such events provably land at or beyond the window barrier; the
-    /// always-on check here is the lookahead-safety invariant). Because
-    /// every event carries its canonical `(time, seq, lane)` key, the
-    /// union of all shard dispatches replays the serial order exactly.
+    /// meets at a barrier; shard `i` then dispatches its local events
+    /// strictly below its own window barrier
+    /// `min_k(next_k + reach[k][i])`, where `reach` is the min-plus
+    /// closure of the per-pair lookahead matrix (uniform
+    /// [`ShardPlan::lookahead`] when no matrix is installed). Cross-shard
+    /// sends stage in worker-local buffers, flush to per-destination
+    /// outboxes at a second barrier, and are drained by their receiver
+    /// (such events provably land at or beyond the receiver's window
+    /// barrier; the always-on check here is the lookahead-safety
+    /// invariant). Because every event carries its canonical
+    /// `(time, seq, lane)` key, the union of all shard dispatches replays
+    /// the serial order exactly, independent of window shapes.
     fn run_sharded(&mut self) -> StopReason {
         let plan = self.shard_plan.take().expect("caller checked plan");
         let n = plan.n_shards;
@@ -505,6 +587,7 @@ impl World {
                     engine,
                     slots: (0..n_slots).map(|_| None).collect(),
                     lane_seq: self.lane_seq.clone(),
+                    stage: (0..n).map(|_| Vec::new()).collect(),
                 }
             })
             .collect();
@@ -527,6 +610,7 @@ impl World {
         let violation_log: Mutex<Vec<LookaheadViolation>> = Mutex::new(Vec::new());
         let panic_log: Mutex<Vec<Box<dyn Any + Send>>> = Mutex::new(Vec::new());
         let owner: &[u16] = &plan.owner;
+        let reach = plan.reachability();
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = shards
@@ -538,7 +622,7 @@ impl World {
                         me,
                         n,
                         horizon,
-                        lookahead: plan.lookahead.as_nanos(),
+                        reach: &reach,
                         mins: &mins,
                         outboxes: &outboxes,
                         barrier: &barrier,
@@ -619,6 +703,7 @@ const IDLE: u64 = u64::MAX;
 /// One shard's thread: the conservative window loop described on
 /// `World::run_sharded`.
 fn shard_worker(state: &mut ShardState, sc: &ShardCtx<'_>) {
+    let mut nexts = vec![0u64; sc.n];
     loop {
         let next = state
             .engine
@@ -629,16 +714,25 @@ fn shard_worker(state: &mut ShardState, sc: &ShardCtx<'_>) {
         if sc.abort.load(Ordering::SeqCst) {
             return;
         }
-        let m = sc
-            .mins
-            .iter()
-            .map(|a| a.load(Ordering::SeqCst))
-            .min()
-            .expect("at least one shard");
+        for (slot, a) in nexts.iter_mut().zip(sc.mins) {
+            *slot = a.load(Ordering::SeqCst);
+        }
+        let m = *nexts.iter().min().expect("at least one shard");
         if m == IDLE || m > sc.horizon.as_nanos() {
             return;
         }
-        let window_end = m.saturating_add(sc.lookahead);
+        // This shard's conservative window: any event that can still
+        // reach it originates from some shard k's current queue (time
+        // >= next_k) and crosses >= 1 cut edges totalling >= reach[k][me]
+        // — including k == me via the shortest cycle, covering replies
+        // provoked by our own sends. Always > m since reach > 0, so the
+        // globally-minimal shard makes progress every round.
+        let window_end = nexts
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| t.saturating_add(sc.reach[k * sc.n + sc.me]))
+            .min()
+            .expect("at least one shard");
         state.engine.horizon = Nanos(window_end - 1).min(sc.horizon);
         let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             dispatch_window(state, sc);
@@ -648,6 +742,16 @@ fn shard_worker(state: &mut ShardState, sc: &ShardCtx<'_>) {
             sc.abort.store(true, Ordering::SeqCst);
         }
         state.engine.horizon = sc.horizon;
+        // Flush the window's staged cross-shard sends: one lock per
+        // destination instead of one per event.
+        for (dst, staged) in state.stage.iter_mut().enumerate() {
+            if !staged.is_empty() {
+                sc.outboxes[sc.me][dst]
+                    .lock()
+                    .expect("shard outbox poisoned")
+                    .append(staged);
+            }
+        }
         sc.barrier.wait();
         for src in 0..sc.n {
             let mut inbox = sc.outboxes[src][sc.me]
@@ -679,26 +783,32 @@ fn shard_worker(state: &mut ShardState, sc: &ShardCtx<'_>) {
 
 /// Dispatch every local event inside the current window.
 fn dispatch_window(state: &mut ShardState, sc: &ShardCtx<'_>) {
-    while let Some(scheduled) = state.engine.step() {
+    let ShardState {
+        engine,
+        slots,
+        lane_seq,
+        stage,
+    } = state;
+    while let Some(scheduled) = engine.step() {
         let Routed { node, ev } = scheduled.payload;
         let idx = node.index();
-        let mut entity = state.slots[idx]
+        let mut entity = slots[idx]
             .take()
             .unwrap_or_else(|| panic!("event for entity {node} missing from shard {}", sc.me));
         let mut ctx = Ctx {
             self_id: node,
-            now: state.engine.now(),
-            lane_seq: state.lane_seq[idx].max(scheduled.seq + 1),
+            now: engine.now(),
+            lane_seq: lane_seq[idx].max(scheduled.seq + 1),
             sched: SchedHandle::Shard {
-                engine: &mut state.engine,
+                engine: &mut *engine,
                 owner: sc.owner,
                 me: sc.me as u16,
-                outbox: &sc.outboxes[sc.me],
+                stage: &mut *stage,
             },
         };
         entity.handle(ev, &mut ctx);
-        state.lane_seq[idx] = ctx.lane_seq;
-        state.slots[idx] = Some(entity);
+        lane_seq[idx] = ctx.lane_seq;
+        slots[idx] = Some(entity);
     }
 }
 
@@ -877,6 +987,62 @@ mod tests {
             let p: &PingPong = sharded.get(id).unwrap();
             assert_eq!(s.received, p.received);
         }
+    }
+
+    #[test]
+    fn per_pair_matrix_matches_serial() {
+        let (mut serial, a, b) = ping_pong_world(50);
+        serial.run();
+
+        let (mut sharded, _, _) = ping_pong_world(50);
+        // Honest direct matrix: 1 us each way, no self-edges.
+        let mut plan = ShardPlan::new(vec![0, 1], 2, TimeDelta::from_micros(1));
+        plan.set_lookahead_matrix(vec![u64::MAX, 1_000, 1_000, u64::MAX]);
+        sharded.set_shard_plan(plan);
+        let reason = sharded.run();
+        assert_eq!(reason, StopReason::QueueEmpty);
+
+        assert_eq!(sharded.now(), serial.now());
+        assert_eq!(sharded.engine.dispatched(), serial.engine.dispatched());
+        for id in [a, b] {
+            let s: &PingPong = serial.get(id).unwrap();
+            let p: &PingPong = sharded.get(id).unwrap();
+            assert_eq!(s.received, p.received);
+        }
+    }
+
+    #[test]
+    fn reachability_closes_over_multi_hop_paths() {
+        // 3 shards: 0->1 is 5 ns, 1->2 is 5 ns, 0->2 direct is 1000 ns.
+        // The closure must discover the 10 ns relay path 0->1->2, and the
+        // diagonal must become the shortest cycle through each shard.
+        let mut plan = ShardPlan::new(vec![0, 1, 2], 3, TimeDelta(1));
+        let x = u64::MAX;
+        plan.set_lookahead_matrix(vec![
+            x, 5, 1000, //
+            x, x, 5, //
+            7, x, x,
+        ]);
+        let b = plan.reachability();
+        assert_eq!(b[2], 10, "0->2 must relay through 1");
+        assert_eq!(b[0], 17, "cycle 0->1->2->0");
+        assert_eq!(b[4], 17, "cycle 1->2->0->1");
+        assert_eq!(b[3 + 2], 5, "direct 1->2 survives");
+    }
+
+    #[test]
+    fn lying_matrix_is_caught() {
+        let (mut w, _, _) = ping_pong_world(5);
+        // True cross-shard latency is 1 us; declare 5 us pairwise.
+        let mut plan = ShardPlan::new(vec![0, 1], 2, TimeDelta::from_micros(1));
+        plan.set_lookahead_matrix(vec![u64::MAX, 5_000, 5_000, u64::MAX]);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        plan.violations = Some(log.clone());
+        w.set_shard_plan(plan);
+        w.run();
+        let found = log.lock().unwrap();
+        assert!(!found.is_empty(), "expected a lookahead violation");
+        assert!(found.iter().all(|v| v.at_ns < v.window_end_ns));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::config::{NicConfig, TransportMode};
 use crate::dcqcn::Dcqcn;
 use crate::qp::{RecvQp, SendQp, SendTrace};
+use netsim::arena::PacketArena;
 use netsim::event::{ControlMsg, Event};
 use netsim::packet::{Packet, PacketKind};
 use netsim::port::EgressPort;
@@ -71,6 +72,8 @@ pub struct Nic {
     rng: Xoshiro256,
     rx_corrupt_ppm: u32,
     telem: Option<crate::telem::NicTelem>,
+    /// Pool backing the uplink port queue.
+    arena: PacketArena,
     /// NIC-level statistics.
     pub stats: NicStats,
 }
@@ -99,6 +102,7 @@ impl Nic {
             rng: Xoshiro256::seeded(cfg.seed ^ (host.0 as u64) << 32),
             rx_corrupt_ppm: 0,
             telem: None,
+            arena: PacketArena::new(),
             stats: NicStats::default(),
         }
     }
@@ -153,7 +157,7 @@ impl Nic {
     /// Enable per-flow tracing on a sender QP (Fig 1b/1c series).
     pub fn enable_send_trace(&mut self, qp: QpId, bin: TimeDelta) {
         if let Some(&i) = self.send_index.get(&qp) {
-            self.send_qps[i].trace = Some(SendTrace::new(bin));
+            self.send_qps[i].trace = Some(Box::new(SendTrace::new(bin)));
         }
     }
 
@@ -182,6 +186,16 @@ impl Nic {
         &self.cfg
     }
 
+    /// The uplink egress port (towards the ToR).
+    pub fn uplink(&self) -> &EgressPort {
+        &self.port
+    }
+
+    /// The packet pool backing the uplink port queue.
+    pub fn arena(&self) -> &PacketArena {
+        &self.arena
+    }
+
     // ------------------------------------------------------------------
     // Sending machinery
     // ------------------------------------------------------------------
@@ -190,7 +204,9 @@ impl Nic {
         while !self.port.is_busy() && !self.port.is_paused() {
             if let Some(p) = self.ctrl_queue.pop_front() {
                 self.stats.ctrl_tx += 1;
-                let _ = self.port.enqueue(p, PortId(0), ctx, None, &mut self.rng);
+                let _ = self
+                    .port
+                    .enqueue(p, PortId(0), ctx, None, &mut self.rng, &mut self.arena);
                 continue;
             }
             let now = ctx.now();
@@ -215,7 +231,9 @@ impl Nic {
                 self.arm_rto(i, ctx);
             }
             self.rr_cursor = (i + 1) % n;
-            let _ = self.port.enqueue(pkt, PortId(0), ctx, None, &mut self.rng);
+            let _ = self
+                .port
+                .enqueue(pkt, PortId(0), ctx, None, &mut self.rng, &mut self.arena);
         }
     }
 
@@ -491,14 +509,14 @@ impl Entity for Nic {
             }
             Event::TxDone { port } => {
                 debug_assert_eq!(port, PortId(0), "NIC has a single port");
-                let _ = self.port.on_tx_done(PortId(0), ctx, None);
+                let _ = self.port.on_tx_done(PortId(0), ctx, None, &mut self.arena);
                 self.try_send(ctx);
             }
             Event::Timer { token } => self.on_timer(token, ctx),
             Event::Control(msg) => self.on_control(msg, ctx),
             Event::Pfc { pause, .. } => {
                 // Single-port NIC: the frame always addresses port 0.
-                self.port.set_paused(pause, PortId(0), ctx);
+                self.port.set_paused(pause, PortId(0), ctx, &mut self.arena);
                 if !pause {
                     self.try_send(ctx);
                 }

@@ -110,8 +110,9 @@ pub struct SendQp {
     pub rto_deadline: Option<Nanos>,
     /// Statistics.
     pub stats: SendQpStats,
-    /// Optional tracing.
-    pub trace: Option<SendTrace>,
+    /// Optional tracing, boxed to keep the always-scanned hot QP array
+    /// slim (the trace payload is ~90 bytes and rarely enabled).
+    pub trace: Option<Box<SendTrace>>,
     handshake_sent: bool,
 }
 

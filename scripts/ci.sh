@@ -18,6 +18,10 @@
 #      shard_merge_ops_per_sec drops more than 30 % below the committed
 #      BENCH_substrate.json. When the committed numbers were taken on
 #      >= 4 cores, also requires parallel_speedup_4c >= 2.0.
+#   8. paper_fabric_x10 smoke: a short 1024-host k=16 run (all hosts in
+#      active rings, oracle-checked) plus the k=32 build smoke; fails if
+#      x10_events_per_sec drops more than 30 % below committed or
+#      x10_mb_per_host exceeds the 1.5x-plus-slack memory ceiling.
 #
 # The gate is relative to the committed JSON (absolute numbers vary by
 # machine); the smoke run uses a scaled-down workload via the
@@ -29,7 +33,9 @@ echo "== fmt =="
 cargo fmt --check
 
 echo "== build (release) =="
-cargo build --release
+# --workspace so member binaries (themis_fuzz, themis_sim, fig1, fig5)
+# are built too — the root facade package alone does not pull them in.
+cargo build --release --workspace
 
 echo "== tests (tier 1) =="
 cargo test -q
@@ -109,6 +115,58 @@ awk -v b="$merge_baseline" -v c="$merge_current" 'BEGIN {
         exit 1
     }
     printf "OK: within the 30%% regression budget (floor %.0f)\n", floor
+}'
+
+echo "== paper_fabric_x10 smoke bench =="
+# The 1024-host k=16 fabric with every host in an active ring, run at a
+# smoke-sized payload (same event machinery, smaller horizon), plus the
+# k=32 build-and-short-run — the x10 section asserts ring completion and
+# oracle conformance itself, so this leg doubles as the big-fabric
+# correctness smoke.
+X10_JSON=$(mktemp /tmp/bench_substrate_x10.XXXXXX.json)
+trap 'rm -f "$SMOKE_JSON" "$X10_JSON"' EXIT
+THEMIS_BENCH_FABRIC=x10 \
+THEMIS_BENCH_X10_KB=64 \
+THEMIS_BENCH_BUDGET=1 \
+THEMIS_BENCH_OUT="$X10_JSON" \
+    cargo bench -p themis-bench --bench substrate
+
+x10_baseline=$(read_field BENCH_substrate.json x10_events_per_sec)
+x10_current=$(read_field "$X10_JSON" x10_events_per_sec)
+if [ -z "$x10_baseline" ] || [ -z "$x10_current" ]; then
+    echo "FAIL: could not read x10_events_per_sec (baseline='$x10_baseline', current='$x10_current')"
+    exit 1
+fi
+
+echo "x10_events_per_sec: committed=$x10_baseline smoke=$x10_current"
+awk -v b="$x10_baseline" -v c="$x10_current" 'BEGIN {
+    floor = 0.70 * b
+    if (c < floor) {
+        printf "FAIL: x10_events_per_sec %.0f is below the 70%% regression floor %.0f\n", c, floor
+        exit 1
+    }
+    printf "OK: within the 30%% regression budget (floor %.0f)\n", floor
+}'
+
+# Memory gate is a *ceiling*: the run must not get hungrier. The RSS
+# delta rides on allocator state, so allow 1.5x the committed value plus
+# a small absolute slack (0.05 MB/host = ~51 MB across 1024 hosts, far
+# below any per-packet-copy or dense-route regression).
+mem_baseline=$(read_field BENCH_substrate.json x10_mb_per_host)
+mem_current=$(read_field "$X10_JSON" x10_mb_per_host)
+if [ -z "$mem_baseline" ] || [ -z "$mem_current" ]; then
+    echo "FAIL: could not read x10_mb_per_host (baseline='$mem_baseline', current='$mem_current')"
+    exit 1
+fi
+
+echo "x10_mb_per_host: committed=$mem_baseline smoke=$mem_current"
+awk -v b="$mem_baseline" -v c="$mem_current" 'BEGIN {
+    ceiling = 1.5 * b + 0.05
+    if (c > ceiling) {
+        printf "FAIL: x10_mb_per_host %.3f exceeds the memory ceiling %.3f\n", c, ceiling
+        exit 1
+    }
+    printf "OK: within the memory ceiling (%.3f MB/host)\n", ceiling
 }'
 
 # The >= 2x parallel-engine target only means anything with cores to

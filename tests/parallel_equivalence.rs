@@ -13,15 +13,24 @@ use simcore::time::{Nanos, TimeDelta};
 use themis::harness::fig1::{run_fig1_sharded, Fig1Transport};
 use themis::harness::oracle::{self, OracleConfig};
 use themis::harness::{
-    expected_delivered_bytes, planned_transfers, run_collective_with_faults, Collective,
-    ExperimentConfig, ExperimentResult, FaultPlan, FaultSpace, Scheme,
+    expected_delivered_bytes, planned_transfers, run_collective_with_faults, run_fat_tree_rings,
+    Collective, ExperimentConfig, ExperimentResult, FaultPlan, FaultSpace, Scheme,
 };
+use themis::netsim::fat_tree::FatTreeConfig;
+use themis::rnic::NicConfig;
 
-/// Serialize one run's telemetry as the versioned JSON document.
+/// Serialize one run's telemetry as the versioned JSON document, with
+/// the one intentionally-divergent line — the `run.shards`
+/// execution-config echo — removed. Everything the simulation *computed*
+/// must still match byte-for-byte.
 fn telemetry_json(label: &str, r: &ExperimentResult) -> String {
     let mut report = telemetry::Report::new();
     report.add_run(label, r.telemetry.clone());
-    report.to_json()
+    let json = report.to_json();
+    json.lines()
+        .filter(|l| !l.contains("\"run.shards\""))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// Run the same (config, collective, plan) cell serially and with
@@ -180,6 +189,46 @@ fn paper_fabric_bit_identical() {
             4,
             &format!("paper/seed{seed}"),
         );
+    }
+}
+
+/// The 10x fabric (k=16 fat-tree, 1024 hosts, pod-aligned partition with
+/// the per-pair lookahead matrix): serial vs sharded runs must stay
+/// bit-identical across seeds and shard counts. Two inter-pod rings keep
+/// the debug-mode run fast while every ring crosses the core layer and
+/// every shard boundary.
+#[test]
+fn x10_fabric_bit_identical() {
+    let mut fabric = FatTreeConfig::small(16);
+    let nic = NicConfig::nic_sr(fabric.host_link.bandwidth_bps);
+    let horizon = Nanos::from_secs(2);
+    for seed in [31u64, 32] {
+        fabric.seed = seed;
+        let (serial, _) =
+            run_fat_tree_rings(&fabric, nic, Scheme::Themis, seed, 1, 2, 32 << 10, horizon);
+        assert!(serial.tail_ct.is_some(), "x10 rings must complete");
+        for shards in [2usize, 8] {
+            let label = format!("x10/seed{seed}/shards{shards}");
+            let (sharded, _) = run_fat_tree_rings(
+                &fabric,
+                nic,
+                Scheme::Themis,
+                seed,
+                shards,
+                2,
+                32 << 10,
+                horizon,
+            );
+            assert_eq!(serial.tail_ct, sharded.tail_ct, "{label}: tail_ct");
+            assert_eq!(serial.group_cts, sharded.group_cts, "{label}: group_cts");
+            assert_eq!(serial.events, sharded.events, "{label}: dispatch count");
+            assert_eq!(serial.sim_end, sharded.sim_end, "{label}: sim end");
+            assert_eq!(
+                telemetry_json(&label, &serial),
+                telemetry_json(&label, &sharded),
+                "{label}: telemetry JSON diverged"
+            );
+        }
     }
 }
 

@@ -106,9 +106,15 @@ fn themis_run_emits_the_documented_contract() {
         "fabric.hook_blocked",
         "run.events",
         "run.sim_end_ns",
+        "run.shards",
     ] {
         assert!(t.counter(name).is_some(), "missing counter {name}");
     }
+    assert_eq!(
+        t.counter("run.shards"),
+        Some(1),
+        "serial run echoes shards=1"
+    );
     for name in ["run.goodput_gbps", "run.tail_ct_us", "run.retx_ratio"] {
         assert!(t.gauge(name).is_some(), "missing gauge {name}");
     }
