@@ -29,6 +29,7 @@
 //!   `THEMIS_BENCH_MB`          motivation single-run size in MB   [64]
 //!   `THEMIS_BENCH_PAPER_MB`    paper single-run size in MB        [4]
 //!   `THEMIS_BENCH_SWEEP_MB`    per-cell sweep size in MB          [16]
+//!   `THEMIS_BENCH_SCHEME_MB`   scheme-zoo ring size in MB         [2]
 //!   `THEMIS_BENCH_PARALLEL_MB` parallel-scaling run size in MB    [2]
 //!   `THEMIS_BENCH_X10_KB`      x10 per-ring size in KB            [256]
 //!   `THEMIS_BENCH_X10_GROUPS`  x10 simultaneous rings             [64]
@@ -271,6 +272,32 @@ fn main() {
                 JsonValue::Num(packets_per_sec),
             ),
         ]);
+
+        // ---- scheme zoo throughput (SCHEMES.md baselines) ----------
+        // The external baselines stress different substrate paths than
+        // the spray run above: REPS/Sprinklers roll per-packet sender
+        // entropy (RNG + pool bookkeeping per send), Eunomia holds OOO
+        // state per receive. A ring at a fixed small size keeps this
+        // comparable across machines and cheap in CI smoke.
+        let zoo_mb = env_u64("THEMIS_BENCH_SCHEME_MB", 2);
+        for scheme in [Scheme::Reps, Scheme::Eunomia, Scheme::Sprinklers] {
+            let cfg = ExperimentConfig::motivation_small(scheme, 1);
+            let (m, _packets) = bench_collective(
+                &mut b,
+                &format!(
+                    "substrate/ring_{zoo_mb}mb_{}",
+                    scheme.label().to_lowercase()
+                ),
+                &cfg,
+                Collective::RingOnce,
+                zoo_mb << 20,
+            );
+            fields.push((
+                format!("scheme_{}_events_per_sec", scheme.label().to_lowercase()),
+                JsonValue::Num(m.units_per_sec()),
+            ));
+        }
+        fields.push(("scheme_run_mb".to_string(), JsonValue::Int(zoo_mb)));
     }
 
     // ---- single-run throughput, evaluation fabric ------------------

@@ -292,7 +292,7 @@ mod tests {
     fn acks_and_cnps_always_forward() {
         let mut m = ThemisMiddleware::new(cfg());
         let mut emit = Vec::new();
-        let ack = Packet::ack(QpId(1), HostId(9), HostId(0), 700, 5);
+        let ack = Packet::ack(QpId(1), HostId(9), HostId(0), 700, 5, 700);
         let cnp = Packet::cnp(QpId(1), HostId(9), HostId(0), 700);
         assert_eq!(
             m.on_reverse(&ack, &mut hook_ctx(&mut emit)),

@@ -1,29 +1,101 @@
-//! Full Figure 5 reproduction binary.
+//! Full Figure 5 reproduction binary, extended to the whole scheme zoo.
 //!
 //! Usage:
 //! `cargo run --release -p themis-harness --bin fig5 -- [allreduce|alltoall] [MB_PER_GROUP]
-//! [--jobs N] [--shards N] [--telemetry out.json] [--trace-last N]`
+//! [--scheme LIST] [--fat-tree] [--jobs N] [--shards N] [--telemetry out.json]
+//! [--trace-last N]`
 //!
-//! Defaults to Allreduce at 8 MB per group. The paper's full scale is
-//! 300 MB per group (expect a long run: ~10⁹ simulator events).
-//! `--jobs N` fans the 15 sweep cells over N worker threads and
-//! `--shards N` partitions each cell's engine; results are identical
-//! for any N of either (the two compose, see the harness `knobs` docs).
+//! Defaults to Allreduce at 8 MB per group over the paper's three
+//! schemes (ECMP, AR, Themis). The paper's full scale is 300 MB per
+//! group (expect a long run: ~10⁹ simulator events).
+//!
+//! `--scheme LIST` takes a comma-separated list of scheme names
+//! (`ecmp|adaptive|spray|flowlet|themis|oracle|reps|eunomia|sprinklers|...`,
+//! see SCHEMES.md) or the shorthand `zoo` for the seven-way comparison
+//! set. `--fat-tree` swaps the 16×16 leaf-spine collective for the k=16
+//! fat-tree (1024 hosts) inter-pod ring workload, where `MB_PER_GROUP`
+//! becomes MB per ring (default 1) and the DCQCN sweep axis collapses
+//! to a single column per scheme.
+//!
+//! `--jobs N` fans sweep cells over N worker threads and `--shards N`
+//! partitions each cell's engine; results are identical for any N of
+//! either (the two compose, see the harness `knobs` docs).
 //! `--telemetry` writes one run snapshot per sweep cell, labelled
-//! `ti<TI>_td<TD>/<scheme>`; `--trace-last N` dumps the event-ring tail
-//! of every cell that failed to complete.
+//! `ti<TI>_td<TD>/<scheme>` (leaf-spine) or `fattree_k16/<scheme>`;
+//! `--trace-last N` dumps the event-ring tail of every cell that failed
+//! to complete.
 
-use themis_harness::fig5::{improvement_pct, run_fig5_with, Fig5Config};
+use themis_harness::fig5::{
+    improvement_pct, run_fig5_fat_tree, run_fig5_with, FatTreeLegConfig, Fig5Config,
+};
 use themis_harness::knobs::take_shards_arg;
 use themis_harness::report::{fmt_ms, Table};
 use themis_harness::sweep::{take_jobs_arg, SweepRunner};
 use themis_harness::telemetry_out::take_telemetry_args;
 use themis_harness::{Collective, Scheme};
 
+/// Extract `--scheme LIST` (comma-separated names, or `zoo`/`all` for
+/// the full comparison set) from `args`. Defaults to the paper's three
+/// Figure-5 schemes.
+fn take_scheme_arg(args: Vec<String>) -> (Vec<Scheme>, Vec<String>) {
+    let mut schemes: Option<Vec<Scheme>> = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--scheme" || a == "--schemes" {
+            let list = it.next().unwrap_or_else(|| {
+                eprintln!("--scheme needs a comma-separated list (or 'zoo')");
+                std::process::exit(2);
+            });
+            let mut parsed = Vec::new();
+            for tok in list.split(',').filter(|t| !t.is_empty()) {
+                if tok.eq_ignore_ascii_case("zoo") || tok.eq_ignore_ascii_case("all") {
+                    parsed.extend_from_slice(&Scheme::ZOO);
+                    continue;
+                }
+                match Scheme::parse(tok) {
+                    Some(s) => parsed.push(s),
+                    None => {
+                        eprintln!("unknown scheme '{tok}' (see SCHEMES.md; try 'zoo')");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            parsed.dedup();
+            schemes = Some(parsed);
+        } else {
+            rest.push(a);
+        }
+    }
+    (schemes.unwrap_or_else(|| Scheme::PAPER_FIG5.to_vec()), rest)
+}
+
+/// Extract a bare boolean flag from `args`.
+fn take_flag(args: Vec<String>, flag: &str) -> (bool, Vec<String>) {
+    let had = args.iter().any(|a| a == flag);
+    (had, args.into_iter().filter(|a| a != flag).collect())
+}
+
 fn main() {
     let (telem, rest) = take_telemetry_args(std::env::args().skip(1).collect());
     let (jobs, rest) = take_jobs_arg(rest);
     let (shards, rest) = take_shards_arg(rest);
+    let (schemes, rest) = take_scheme_arg(rest);
+    let (fat_tree, rest) = take_flag(rest, "--fat-tree");
+    if schemes.is_empty() {
+        eprintln!("--scheme list resolved to no schemes");
+        std::process::exit(2);
+    }
+
+    if fat_tree {
+        // The fat-tree leg runs rings, so a collective token (if any)
+        // is accepted and ignored; the first numeric positional is MB
+        // per ring.
+        let mb = rest.iter().find_map(|s| s.parse::<u64>().ok()).unwrap_or(1);
+        run_fat_tree_leg(&schemes, mb, shards, jobs, &telem);
+        return;
+    }
+
     let mut args = rest.into_iter();
     let collective = match args.next().as_deref() {
         Some("alltoall") => Collective::Alltoall,
@@ -33,6 +105,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+
     let mb: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
     let bytes = mb << 20;
 
@@ -47,6 +120,7 @@ fn main() {
     println!("16x16 leaf-spine @400 Gbps, 16 groups x 16 NICs ({jobs} worker(s))\n");
 
     let mut cfg = Fig5Config::paper(collective, bytes, 1);
+    cfg.schemes = schemes.clone();
     cfg.shards = shards;
     let points = run_fig5_with(&cfg, SweepRunner::new(jobs));
 
@@ -62,36 +136,40 @@ fn main() {
         telem.write(&report);
     }
 
+    let compare = schemes.contains(&Scheme::Themis) && schemes.contains(&Scheme::AdaptiveRouting);
+    let mut headers: Vec<String> = vec!["(TI,TD)".into()];
+    headers.extend(schemes.iter().map(|s| s.label().to_string()));
+    if compare {
+        headers.push("Themis vs AR".into());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
         format!(
             "{} tail CT (ms) per DCQCN (T_I, T_D) us",
             collective.label()
         ),
-        &["(TI,TD)", "ECMP", "AR", "Themis", "Themis vs AR"],
+        &header_refs,
     );
     let mut improvements = Vec::new();
-    for chunk in points.chunks(3) {
-        let find = |s: Scheme| chunk.iter().find(|p| p.scheme == s).expect("present");
-        let (ecmp, ar, th) = (
-            find(Scheme::Ecmp),
-            find(Scheme::AdaptiveRouting),
-            find(Scheme::Themis),
-        );
-        let vs = match (th.tail_ct, ar.tail_ct) {
-            (Some(t), Some(a)) => {
-                let pct = improvement_pct(t, a);
-                improvements.push(pct);
-                format!("{pct:+.1}%")
-            }
-            _ => "-".into(),
-        };
-        table.row(&[
-            format!("({},{})", ecmp.ti_us, ecmp.td_us),
-            fmt_ms(ecmp.tail_ct),
-            fmt_ms(ar.tail_ct),
-            fmt_ms(th.tail_ct),
-            vs,
-        ]);
+    for chunk in points.chunks(schemes.len()) {
+        let mut row = vec![format!("({},{})", chunk[0].ti_us, chunk[0].td_us)];
+        row.extend(chunk.iter().map(|p| fmt_ms(p.tail_ct)));
+        if compare {
+            let find = |s: Scheme| chunk.iter().find(|p| p.scheme == s).expect("present");
+            let vs = match (
+                find(Scheme::Themis).tail_ct,
+                find(Scheme::AdaptiveRouting).tail_ct,
+            ) {
+                (Some(t), Some(a)) => {
+                    let pct = improvement_pct(t, a);
+                    improvements.push(pct);
+                    format!("{pct:+.1}%")
+                }
+                _ => "-".into(),
+            };
+            row.push(vs);
+        }
+        table.row(&row);
     }
     table.print();
     if let (Some(min), Some(max)) = (
@@ -104,4 +182,50 @@ fn main() {
         };
         println!("\nThemis vs AR improvement range: {min:.1}%..{max:.1}%  [paper: {paper}]");
     }
+}
+
+/// The `--fat-tree` leg: k=16 fat-tree (1024 hosts), concurrent
+/// inter-pod rings, one row per scheme.
+fn run_fat_tree_leg(
+    schemes: &[Scheme],
+    mb_per_ring: u64,
+    shards: usize,
+    jobs: usize,
+    telem: &themis_harness::telemetry_out::TelemetryArgs,
+) {
+    let mut cfg = FatTreeLegConfig::k16(mb_per_ring << 20, 1);
+    cfg.shards = shards;
+    println!("Cross-scheme fat-tree leg — inter-pod ring tail CT ({mb_per_ring} MB per ring)");
+    println!(
+        "k={} fat-tree, {} hosts, {} concurrent rings ({jobs} worker(s))\n",
+        cfg.k,
+        cfg.k * cfg.k * cfg.k / 4,
+        cfg.groups
+    );
+    let points = run_fig5_fat_tree(&cfg, schemes, SweepRunner::new(jobs));
+
+    if telem.active() {
+        let mut report = telemetry::Report::new();
+        for p in &points {
+            let label = format!("fattree_k{}/{}", cfg.k, p.scheme.label());
+            report.add_run(&label, p.result.telemetry.clone());
+            if p.tail_ct.is_none() {
+                telem.dump_trace(&label, &p.result.telemetry);
+            }
+        }
+        telem.write(&report);
+    }
+
+    let mut table = Table::new(
+        format!("k={} fat-tree ring tail CT (ms)", cfg.k),
+        &["Scheme", "tail CT", "delivered MB"],
+    );
+    for p in &points {
+        table.row(&[
+            p.scheme.label().to_string(),
+            fmt_ms(p.tail_ct),
+            format!("{}", p.result.nics.bytes_delivered >> 20),
+        ]);
+    }
+    table.print();
 }

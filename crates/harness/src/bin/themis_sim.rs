@@ -115,20 +115,10 @@ fn emit_telemetry(telem: &TelemetryArgs, label: &str, r: &ExperimentResult) {
 }
 
 fn parse_scheme(s: &str) -> Scheme {
-    match s {
-        "ecmp" => Scheme::Ecmp,
-        "ar" | "adaptive" => Scheme::AdaptiveRouting,
-        "spray" | "random" => Scheme::RandomSpray,
-        "flowlet" => Scheme::Flowlet,
-        "themis" => Scheme::Themis,
-        "themis-pathmap" => Scheme::ThemisPathMap,
-        "themis-nocomp" => Scheme::ThemisNoCompensation,
-        "spray-nofilter" => Scheme::SprayNoFilter,
-        other => {
-            eprintln!("unknown scheme '{other}'");
-            std::process::exit(2);
-        }
-    }
+    Scheme::parse(s).unwrap_or_else(|| {
+        eprintln!("unknown scheme '{s}' (see SCHEMES.md)");
+        std::process::exit(2);
+    })
 }
 
 fn parse_collective(s: &str) -> Collective {

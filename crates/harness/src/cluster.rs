@@ -215,6 +215,9 @@ pub fn build_cluster_sharded(
     scheme: Scheme,
     n_shards: usize,
 ) -> Cluster {
+    // The scheme supplies the NIC half of its configuration (transport
+    // mode, sender entropy, OOO reaction) before anything derives from it.
+    let nic_cfg = scheme.nic_config(nic_cfg);
     let mut fabric_cfg = fabric_cfg.clone();
     fabric_cfg.lb = scheme.lb_policy();
     // The Ideal transport needs drop notifications from switches.

@@ -262,6 +262,32 @@ fn attach_driver_telemetry(driver: &mut Driver, cluster: &Cluster) {
     );
 }
 
+/// Aggregated scheme-policy counters over all NIC QPs — the backing
+/// store of the `scheme.*` telemetry namespace (exported only for
+/// schemes that install a non-commodity transport reaction).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchemeAggregate {
+    /// Sender-entropy policy counters summed over sender QPs.
+    pub entropy: rnic::EntropyStats,
+    /// OOO-reaction policy counters summed over receiver QPs.
+    pub ooo: rnic::OooReactionStats,
+}
+
+/// Sum scheme-policy counters over the cluster.
+pub fn aggregate_scheme(cluster: &Cluster) -> SchemeAggregate {
+    let mut agg = SchemeAggregate::default();
+    for &h in &cluster.hosts {
+        let nic: &Nic = cluster.nic(h);
+        for s in nic.send_qps() {
+            agg.entropy.add(&s.entropy_stats());
+        }
+        for r in nic.recv_qps() {
+            agg.ooo.add(&r.ooo_stats());
+        }
+    }
+    agg
+}
+
 /// Sum NIC counters over the cluster.
 pub fn aggregate_nics(cluster: &Cluster) -> NicAggregate {
     let mut agg = NicAggregate::default();
@@ -573,6 +599,38 @@ fn snapshot_telemetry(r: &ExperimentResult, cluster: &Cluster) -> telemetry::Run
     t.push_counter("agg.nic.ooo_packets", r.nics.ooo_packets);
     t.push_counter("agg.nic.dup_packets", r.nics.dup_packets);
     t.push_counter("agg.nic.bytes_delivered", r.nics.bytes_delivered);
+
+    // Scheme-policy counters, namespaced per scheme so each rival's
+    // telemetry contract (SCHEMES.md / EXPERIMENTS.md) is explicit.
+    // Pushed at snapshot time from per-QP state, so serial and sharded
+    // runs emit identical documents; incumbents (ECMP/Themis/…) push
+    // nothing, keeping the golden schema untouched.
+    match cluster.scheme {
+        Scheme::Reps => {
+            let s = aggregate_scheme(cluster).entropy;
+            t.push_counter("scheme.reps.recycled_sends", s.recycled_sends);
+            t.push_counter("scheme.reps.fresh_sends", s.fresh_sends);
+            t.push_counter("scheme.reps.pool_clears", s.pool_clears);
+            t.push_counter("scheme.reps.pool_evictions", s.pool_evictions);
+        }
+        Scheme::Sprinklers => {
+            let s = aggregate_scheme(cluster).entropy;
+            t.push_counter("scheme.sprinklers.stripes_started", s.stripes_started);
+            t.push_counter("scheme.sprinklers.fresh_sends", s.fresh_sends);
+            t.push_counter("scheme.sprinklers.striped_sends", s.recycled_sends);
+        }
+        Scheme::Eunomia => {
+            let s = aggregate_scheme(cluster).ooo;
+            t.push_counter("scheme.eunomia.nacks_held", s.nacks_held);
+            t.push_counter("scheme.eunomia.nacks_allowed", s.nacks_allowed);
+            t.push_counter(
+                "scheme.eunomia.window_overflow_nacks",
+                s.window_overflow_nacks,
+            );
+            t.push_counter("scheme.eunomia.gap_timeout_nacks", s.gap_timeout_nacks);
+        }
+        _ => {}
+    }
 
     t.push_counter("run.events", r.events);
     t.push_counter("run.shards", cluster.sinks.len() as u64);

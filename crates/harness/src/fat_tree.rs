@@ -49,6 +49,9 @@ pub fn build_fat_tree_cluster_sharded(
     scheme: Scheme,
     n_shards: usize,
 ) -> Cluster {
+    // Scheme-driven NIC overrides first, so everything derived below
+    // (oracle notifications, per-QP policies) sees the final config.
+    let nic_cfg = scheme.nic_config(nic_cfg);
     let mut fabric_cfg = fabric_cfg.clone();
     fabric_cfg.lb = scheme.lb_policy();
     fabric_cfg.oracle_loss_notify = nic_cfg.transport == TransportMode::IdealOracle;

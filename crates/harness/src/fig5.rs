@@ -5,11 +5,14 @@
 //! completion time. Swept over the five DCQCN `(T_I, T_D)` configurations
 //! of the paper's x-axis for ECMP, Adaptive Routing and Themis.
 
-use crate::experiment::{run_collective, Collective, ExperimentConfig, ExperimentResult};
+use crate::experiment::{
+    run_collective, run_fat_tree_rings, Collective, ExperimentConfig, ExperimentResult,
+};
 use crate::scheme::Scheme;
 use crate::sweep::SweepRunner;
-use rnic::CcConfig;
-use simcore::time::TimeDelta;
+use netsim::fat_tree::FatTreeConfig;
+use rnic::{CcConfig, NicConfig};
+use simcore::time::{Nanos, TimeDelta};
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -83,6 +86,76 @@ pub fn run_fig5_with(cfg: &Fig5Config, runner: SweepRunner) -> Vec<Fig5Point> {
         Fig5Point {
             ti_us: ti,
             td_us: td,
+            scheme,
+            tail_ct: result.tail_ct,
+            result,
+        }
+    })
+}
+
+/// One point of the fat-tree cross-scheme leg (`fig5 --fat-tree`).
+#[derive(Debug, Clone)]
+pub struct FatTreePoint {
+    /// Scheme.
+    pub scheme: Scheme,
+    /// Slowest-ring completion time.
+    pub tail_ct: Option<TimeDelta>,
+    /// Full metrics (telemetry label: `fattree_k<k>/<scheme>`).
+    pub result: ExperimentResult,
+}
+
+/// Configuration of the fat-tree cross-scheme leg.
+#[derive(Debug, Clone)]
+pub struct FatTreeLegConfig {
+    /// Switch radix (16 → 1024 hosts).
+    pub k: usize,
+    /// Inter-pod rings run concurrently.
+    pub groups: usize,
+    /// Bytes per ring transfer.
+    pub bytes_per_ring: u64,
+    /// Root seed.
+    pub seed: u64,
+    /// Engine shards per cell.
+    pub shards: usize,
+}
+
+impl FatTreeLegConfig {
+    /// The ISSUE-mandated k=16 leg: 1024 hosts, a handful of inter-pod
+    /// rings, small transfers so a 7-scheme sweep stays interactive.
+    pub fn k16(bytes_per_ring: u64, seed: u64) -> FatTreeLegConfig {
+        FatTreeLegConfig {
+            k: 16,
+            groups: 8,
+            bytes_per_ring,
+            seed,
+            shards: crate::knobs::shards_from_env(),
+        }
+    }
+}
+
+/// Run the fat-tree inter-pod ring workload once per scheme, fanning
+/// schemes over `runner`'s workers. Output order and every per-cell
+/// metric are identical for any worker or shard count.
+pub fn run_fig5_fat_tree(
+    cfg: &FatTreeLegConfig,
+    schemes: &[Scheme],
+    runner: SweepRunner,
+) -> Vec<FatTreePoint> {
+    let mut fabric = FatTreeConfig::small(cfg.k);
+    fabric.seed = cfg.seed;
+    let nic = NicConfig::nic_sr(fabric.host_link.bandwidth_bps);
+    runner.run(schemes, |&scheme| {
+        let (result, _cluster) = run_fat_tree_rings(
+            &fabric,
+            nic,
+            scheme,
+            cfg.seed,
+            cfg.shards,
+            cfg.groups,
+            cfg.bytes_per_ring,
+            Nanos::from_secs(5),
+        );
+        FatTreePoint {
             scheme,
             tail_ct: result.tail_ct,
             result,

@@ -23,6 +23,8 @@
 //! * [`telemetry_out`] — `--telemetry` / `--trace-last` CLI plumbing
 //!   shared by the binaries (JSON report writing, event-ring dumps).
 
+#![warn(missing_docs)]
+
 pub mod cluster;
 pub mod experiment;
 pub mod fat_tree;
@@ -41,10 +43,11 @@ pub use cluster::{build_cluster, build_cluster_sharded, Cluster, ThemisAggregate
 pub use experiment::{
     expected_delivered_bytes, planned_transfers, run_collective, run_collective_on,
     run_collective_with_faults, run_fat_tree_rings, run_point_to_point, run_seed_sweep, Collective,
-    ExperimentConfig, ExperimentResult, NicAggregate,
+    ExperimentConfig, ExperimentResult, NicAggregate, SchemeAggregate,
 };
 pub use fat_tree::{build_fat_tree_cluster, build_fat_tree_cluster_sharded};
 pub use faults::{Fault, FaultEvent, FaultPlan, FaultSpace};
+pub use fig5::{run_fig5, run_fig5_fat_tree, run_fig5_with, FatTreeLegConfig, FatTreePoint};
 pub use knobs::{jobs_from_env, shards_from_env, take_jobs_arg, take_shards_arg};
 pub use oracle::{assert_conformant, OracleConfig, OracleReport, Violation};
 pub use scheme::Scheme;

@@ -79,7 +79,11 @@ impl OracleConfig {
             | Scheme::AdaptiveRouting
             | Scheme::RandomSpray
             | Scheme::Flowlet
-            | Scheme::SprayNoFilter => (false, false),
+            | Scheme::SprayNoFilter
+            | Scheme::Oracle
+            | Scheme::Reps
+            | Scheme::Eunomia
+            | Scheme::Sprinklers => (false, false),
         };
         OracleConfig {
             expect_complete: true,

@@ -1,10 +1,24 @@
 //! Load-balancing schemes under evaluation.
 //!
-//! The paper's §5 comparison plus the ablations called out in DESIGN.md.
-//! A [`Scheme`] bundles the switch-level LB policy with the Themis
-//! middleware configuration (if any).
+//! The paper's §5 comparison plus the ablations called out in DESIGN.md
+//! and the rival designs of SCHEMES.md. A [`Scheme`] bundles the three
+//! orthogonal pieces that make a complete load balancer:
+//!
+//! * the switch-level LB policy ([`Scheme::lb_policy`]),
+//! * the Themis ToR middleware configuration, if any
+//!   ([`Scheme::themis_config`]),
+//! * the NIC transport reaction — sender entropy policy and receiver
+//!   OOO escalation ([`Scheme::nic_config`]).
+//!
+//! Adding a scheme means adding a variant and filling in those three
+//! answers; every runner (point-to-point, collectives, fat-tree rings,
+//! fig binaries, fuzzer) picks the changes up through the cluster
+//! builders. See DESIGN.md "Scheme zoo".
 
 use netsim::lb::LbPolicy;
+use rnic::{
+    CcConfig, NicConfig, OooReactionKind, SenderEntropyKind, TransportMode, TransportReaction,
+};
 use simcore::time::TimeDelta;
 use themis_core::themis_s::SprayMode;
 use themis_core::ThemisConfig;
@@ -36,11 +50,26 @@ pub enum Scheme {
     /// Ablation: PSN spraying without NACK filtering — isolates how much
     /// of Themis's win comes from filtering vs. deterministic spraying.
     SprayNoFilter,
+    /// Upper bound: random spraying over the loss-oracle transport with
+    /// congestion control disabled (the Fig 1d "Ideal" leg as a
+    /// first-class scheme).
+    Oracle,
+    /// REPS (arXiv 2407.21625): sender-driven spraying over plain-ECMP
+    /// switches that recycles ACK-echoed "known good" entropy values and
+    /// flushes them on loss signals. See SCHEMES.md.
+    Reps,
+    /// Eunomia (arXiv 2412.08540): random spraying absorbed by an in-NIC
+    /// per-QP ordering buffer with a bounded OOO window — NACKs fire only
+    /// on window overflow or gap timeout. See SCHEMES.md.
+    Eunomia,
+    /// Sprinklers (arXiv 1407.0006): sender-driven randomized
+    /// variable-size striping over plain-ECMP switches. See SCHEMES.md.
+    Sprinklers,
 }
 
 impl Scheme {
     /// All schemes, for sweeps.
-    pub const ALL: [Scheme; 8] = [
+    pub const ALL: [Scheme; 12] = [
         Scheme::Ecmp,
         Scheme::AdaptiveRouting,
         Scheme::RandomSpray,
@@ -49,6 +78,10 @@ impl Scheme {
         Scheme::ThemisPathMap,
         Scheme::ThemisNoCompensation,
         Scheme::SprayNoFilter,
+        Scheme::Oracle,
+        Scheme::Reps,
+        Scheme::Eunomia,
+        Scheme::Sprinklers,
     ];
 
     /// The flowlet gap threshold used by [`Scheme::Flowlet`] (LetFlow-ish).
@@ -56,6 +89,31 @@ impl Scheme {
 
     /// The Fig 5 comparison set.
     pub const PAPER_FIG5: [Scheme; 3] = [Scheme::Ecmp, Scheme::AdaptiveRouting, Scheme::Themis];
+
+    /// The full cross-scheme comparison set (`fig5 --scheme zoo`): the
+    /// paper trio plus the oracle upper bound and the three rivals.
+    pub const ZOO: [Scheme; 7] = [
+        Scheme::Ecmp,
+        Scheme::AdaptiveRouting,
+        Scheme::Themis,
+        Scheme::Oracle,
+        Scheme::Reps,
+        Scheme::Eunomia,
+        Scheme::Sprinklers,
+    ];
+
+    /// REPS recycled-entropy cache capacity (default knob).
+    pub const REPS_POOL: u16 = 16;
+
+    /// Eunomia ordering-buffer window in packets (default knob).
+    pub const EUNOMIA_WINDOW: u64 = 256;
+
+    /// Eunomia head-gap timeout before a NACK is forced (default knob;
+    /// well above per-path delay skew, well below the 1 ms RTO).
+    pub const EUNOMIA_GAP_TIMEOUT: TimeDelta = TimeDelta::from_micros(100);
+
+    /// Sprinklers stripe-length range in packets (default knob).
+    pub const SPRINKLERS_STRIPE: (u16, u16) = (16, 64);
 
     /// Short label for tables.
     pub fn label(&self) -> &'static str {
@@ -68,26 +126,54 @@ impl Scheme {
             Scheme::ThemisPathMap => "Themis(PathMap)",
             Scheme::ThemisNoCompensation => "Themis(no-comp)",
             Scheme::SprayNoFilter => "Spray(no-filter)",
+            Scheme::Oracle => "Oracle",
+            Scheme::Reps => "REPS",
+            Scheme::Eunomia => "Eunomia",
+            Scheme::Sprinklers => "Sprinklers",
         }
+    }
+
+    /// Parse a CLI spelling (`--scheme` in the fig binaries). Accepted
+    /// spellings per scheme are documented in EXPERIMENTS.md.
+    pub fn parse(s: &str) -> Option<Scheme> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "ecmp" => Scheme::Ecmp,
+            "ar" | "adaptive" => Scheme::AdaptiveRouting,
+            "spray" | "random" => Scheme::RandomSpray,
+            "flowlet" => Scheme::Flowlet,
+            "themis" => Scheme::Themis,
+            "themis-pathmap" => Scheme::ThemisPathMap,
+            "themis-nocomp" => Scheme::ThemisNoCompensation,
+            "spray-nofilter" => Scheme::SprayNoFilter,
+            "oracle" | "ideal" => Scheme::Oracle,
+            "reps" => Scheme::Reps,
+            "eunomia" => Scheme::Eunomia,
+            "sprinklers" => Scheme::Sprinklers,
+            _ => return None,
+        })
     }
 
     /// The switch LB policy the leaves run.
     ///
     /// Themis variants leave the policy at ECMP: data packets are overridden
     /// per packet by Themis-S, while control/reverse traffic follows its
-    /// flow's ECMP path.
+    /// flow's ECMP path. REPS and Sprinklers likewise ride on plain ECMP —
+    /// the *sender* re-rolls the entropy the switches hash on, which is the
+    /// whole point of sender-driven spraying over commodity fabrics.
     pub fn lb_policy(&self) -> LbPolicy {
         match self {
             Scheme::Ecmp => LbPolicy::Ecmp,
             Scheme::AdaptiveRouting => LbPolicy::AdaptiveRouting,
-            Scheme::RandomSpray => LbPolicy::RandomSpray,
+            Scheme::RandomSpray | Scheme::Oracle | Scheme::Eunomia => LbPolicy::RandomSpray,
             Scheme::Flowlet => LbPolicy::Flowlet {
                 gap: Self::FLOWLET_GAP,
             },
             Scheme::Themis
             | Scheme::ThemisPathMap
             | Scheme::ThemisNoCompensation
-            | Scheme::SprayNoFilter => LbPolicy::Ecmp,
+            | Scheme::SprayNoFilter
+            | Scheme::Reps
+            | Scheme::Sprinklers => LbPolicy::Ecmp,
         }
     }
 
@@ -95,7 +181,14 @@ impl Scheme {
     /// so, how. `base` supplies the fabric-derived parameters.
     pub fn themis_config(&self, base: ThemisConfig) -> Option<ThemisConfig> {
         match self {
-            Scheme::Ecmp | Scheme::AdaptiveRouting | Scheme::RandomSpray | Scheme::Flowlet => None,
+            Scheme::Ecmp
+            | Scheme::AdaptiveRouting
+            | Scheme::RandomSpray
+            | Scheme::Flowlet
+            | Scheme::Oracle
+            | Scheme::Reps
+            | Scheme::Eunomia
+            | Scheme::Sprinklers => None,
             Scheme::Themis => Some(ThemisConfig {
                 spray_mode: SprayMode::DirectEgress,
                 ..base
@@ -103,6 +196,49 @@ impl Scheme {
             Scheme::ThemisPathMap => Some(base.with_pathmap()),
             Scheme::ThemisNoCompensation => Some(base.without_compensation()),
             Scheme::SprayNoFilter => Some(base.without_filtering()),
+        }
+    }
+
+    /// The NIC configuration this scheme needs, derived from `base`.
+    /// Applied once by the cluster builders, so every runner — point to
+    /// point, collectives, fat-tree rings, fuzzer — gets it for free.
+    pub fn nic_config(&self, base: NicConfig) -> NicConfig {
+        match self {
+            Scheme::Oracle => NicConfig {
+                transport: TransportMode::IdealOracle,
+                cc: CcConfig::disabled(base.line_rate_bps),
+                ..base
+            },
+            Scheme::Reps => NicConfig {
+                reaction: TransportReaction {
+                    entropy: SenderEntropyKind::Reps {
+                        pool: Self::REPS_POOL,
+                    },
+                    ooo: OooReactionKind::Eager,
+                },
+                ..base
+            },
+            Scheme::Sprinklers => NicConfig {
+                reaction: TransportReaction {
+                    entropy: SenderEntropyKind::Sprinklers {
+                        min_stripe: Self::SPRINKLERS_STRIPE.0,
+                        max_stripe: Self::SPRINKLERS_STRIPE.1,
+                    },
+                    ooo: OooReactionKind::Eager,
+                },
+                ..base
+            },
+            Scheme::Eunomia => NicConfig {
+                reaction: TransportReaction {
+                    entropy: SenderEntropyKind::Fixed,
+                    ooo: OooReactionKind::Eunomia {
+                        window: Self::EUNOMIA_WINDOW,
+                        gap_timeout: Self::EUNOMIA_GAP_TIMEOUT,
+                    },
+                },
+                ..base
+            },
+            _ => base,
         }
     }
 
@@ -123,6 +259,10 @@ mod tests {
         ThemisConfig::for_fabric(16, 400_000_000_000, TimeDelta::from_micros(2), 1500)
     }
 
+    fn base_nic() -> NicConfig {
+        NicConfig::nic_sr(400_000_000_000)
+    }
+
     #[test]
     fn labels_are_unique() {
         let mut seen = std::collections::HashSet::new();
@@ -138,6 +278,10 @@ mod tests {
             Scheme::AdaptiveRouting,
             Scheme::RandomSpray,
             Scheme::Flowlet,
+            Scheme::Oracle,
+            Scheme::Reps,
+            Scheme::Eunomia,
+            Scheme::Sprinklers,
         ] {
             assert!(s.themis_config(base()).is_none());
         }
@@ -176,5 +320,89 @@ mod tests {
         );
         assert!(!Scheme::Ecmp.sprays());
         assert!(Scheme::Themis.sprays());
+    }
+
+    #[test]
+    fn zoo_schemes_configure_their_nic_half() {
+        let oracle = Scheme::Oracle.nic_config(base_nic());
+        assert_eq!(oracle.transport, TransportMode::IdealOracle);
+        assert!(!oracle.cc.enabled && !oracle.cc.nack_slowdown);
+
+        let reps = Scheme::Reps.nic_config(base_nic());
+        assert_eq!(
+            reps.reaction.entropy,
+            SenderEntropyKind::Reps {
+                pool: Scheme::REPS_POOL
+            }
+        );
+        assert_eq!(reps.reaction.ooo, OooReactionKind::Eager);
+        assert_eq!(reps.transport, TransportMode::SelectiveRepeat);
+
+        let eu = Scheme::Eunomia.nic_config(base_nic());
+        assert_eq!(eu.reaction.entropy, SenderEntropyKind::Fixed);
+        assert_eq!(
+            eu.reaction.ooo,
+            OooReactionKind::Eunomia {
+                window: Scheme::EUNOMIA_WINDOW,
+                gap_timeout: Scheme::EUNOMIA_GAP_TIMEOUT,
+            }
+        );
+
+        let spr = Scheme::Sprinklers.nic_config(base_nic());
+        assert_eq!(
+            spr.reaction.entropy,
+            SenderEntropyKind::Sprinklers {
+                min_stripe: Scheme::SPRINKLERS_STRIPE.0,
+                max_stripe: Scheme::SPRINKLERS_STRIPE.1,
+            }
+        );
+
+        // The incumbents keep the commodity NIC untouched.
+        for s in [Scheme::Ecmp, Scheme::Themis, Scheme::RandomSpray] {
+            let n = s.nic_config(base_nic());
+            assert_eq!(n.reaction, TransportReaction::COMMODITY);
+            assert_eq!(n.transport, TransportMode::SelectiveRepeat);
+        }
+    }
+
+    #[test]
+    fn sender_driven_schemes_ride_on_plain_ecmp() {
+        assert_eq!(Scheme::Reps.lb_policy(), LbPolicy::Ecmp);
+        assert_eq!(Scheme::Sprinklers.lb_policy(), LbPolicy::Ecmp);
+        assert_eq!(Scheme::Eunomia.lb_policy(), LbPolicy::RandomSpray);
+        assert_eq!(Scheme::Oracle.lb_policy(), LbPolicy::RandomSpray);
+        for s in [
+            Scheme::Oracle,
+            Scheme::Reps,
+            Scheme::Eunomia,
+            Scheme::Sprinklers,
+        ] {
+            assert!(s.sprays());
+        }
+    }
+
+    #[test]
+    fn parse_covers_every_scheme_and_rejects_junk() {
+        for s in Scheme::ALL {
+            // Every scheme has at least one spelling that round-trips.
+            let spelling = match s {
+                Scheme::Ecmp => "ecmp",
+                Scheme::AdaptiveRouting => "ar",
+                Scheme::RandomSpray => "spray",
+                Scheme::Flowlet => "flowlet",
+                Scheme::Themis => "themis",
+                Scheme::ThemisPathMap => "themis-pathmap",
+                Scheme::ThemisNoCompensation => "themis-nocomp",
+                Scheme::SprayNoFilter => "spray-nofilter",
+                Scheme::Oracle => "oracle",
+                Scheme::Reps => "reps",
+                Scheme::Eunomia => "eunomia",
+                Scheme::Sprinklers => "sprinklers",
+            };
+            assert_eq!(Scheme::parse(spelling), Some(s));
+        }
+        assert_eq!(Scheme::parse("REPS"), Some(Scheme::Reps), "case-blind");
+        assert_eq!(Scheme::parse("ideal"), Some(Scheme::Oracle));
+        assert_eq!(Scheme::parse("bogus"), None);
     }
 }

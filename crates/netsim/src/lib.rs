@@ -23,6 +23,8 @@
 //! live in the `rnic` and `themis-core` crates and plug in through the
 //! [`world::Entity`] and [`hooks::TorHook`] traits.
 
+#![warn(missing_docs)]
+
 pub mod arena;
 pub mod event;
 pub mod fat_tree;

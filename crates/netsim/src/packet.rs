@@ -42,6 +42,12 @@ pub enum PacketKind {
     Ack {
         /// Receiver's expected PSN (cumulative).
         epsn: u32,
+        /// UDP source port of the most recent data packet the receiver
+        /// saw on this QP — the entropy value that packet travelled on.
+        /// RoCE ACKs reflect the data path's entropy in practice (the
+        /// ACK flows back over the reverse ECMP path); REPS-style
+        /// senders read it as "this entropy value currently works".
+        echo_sport: u16,
     },
     /// Negative acknowledgment. Carries only the receiver's expected PSN;
     /// commodity RNICs do not reveal which out-of-order packet triggered it.
@@ -125,14 +131,23 @@ impl Packet {
         }
     }
 
-    /// Build an ACK carrying the receiver's cumulative expected PSN.
-    pub fn ack(qp: QpId, src: HostId, dst: HostId, udp_sport: u16, epsn: u32) -> Packet {
+    /// Build an ACK carrying the receiver's cumulative expected PSN and
+    /// the entropy value (`echo_sport`) of the data packet that
+    /// triggered it.
+    pub fn ack(
+        qp: QpId,
+        src: HostId,
+        dst: HostId,
+        udp_sport: u16,
+        epsn: u32,
+        echo_sport: u16,
+    ) -> Packet {
         Packet {
             qp,
             src,
             dst,
             udp_sport,
-            kind: PacketKind::Ack { epsn },
+            kind: PacketKind::Ack { epsn, echo_sport },
             wire_bytes: CONTROL_PACKET_BYTES,
             ecn_ce: false,
         }
@@ -234,7 +249,7 @@ mod tests {
 
     #[test]
     fn control_packets_have_fixed_size() {
-        let a = Packet::ack(qp(), HostId(1), HostId(0), 4000, 10);
+        let a = Packet::ack(qp(), HostId(1), HostId(0), 4000, 10, 4321);
         let n = Packet::nack(qp(), HostId(1), HostId(0), 4000, 10, false);
         let c = Packet::cnp(qp(), HostId(1), HostId(0), 4000);
         for p in [a, n, c] {

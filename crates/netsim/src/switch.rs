@@ -385,7 +385,7 @@ impl Switch {
     fn log_drop(&mut self, at: simcore::time::Nanos, pkt: &Packet, cause: DropCause) {
         let psn = match pkt.kind {
             PacketKind::Data { psn, .. } => psn,
-            PacketKind::Ack { epsn } | PacketKind::Nack { epsn, .. } => epsn,
+            PacketKind::Ack { epsn, .. } | PacketKind::Nack { epsn, .. } => epsn,
             _ => 0,
         };
         self.drop_log.push(DropRecord {
@@ -445,6 +445,8 @@ impl Switch {
         &self.arena
     }
 
+    /// Attach the shared per-switch telemetry handles (counters + drop
+    /// ring); installed by the cluster builders after construction.
     pub fn set_telemetry(&mut self, telem: crate::telem::SwitchTelem) {
         self.telem = Some(telem);
     }
@@ -482,7 +484,7 @@ impl Switch {
             self.stats.drops_targeted += 1;
             if let Some(t) = &self.telem {
                 let seq = match pkt.kind {
-                    PacketKind::Ack { epsn } | PacketKind::Nack { epsn, .. } => epsn,
+                    PacketKind::Ack { epsn, .. } | PacketKind::Nack { epsn, .. } => epsn,
                     _ => 0,
                 };
                 t.on_targeted_drop(pkt.qp.0 as u64, seq as u64);

@@ -121,7 +121,7 @@ impl PacketTap for RingTap {
         }
         let seq = match pkt.kind {
             PacketKind::Data { psn, .. } => psn,
-            PacketKind::Ack { epsn } | PacketKind::Nack { epsn, .. } => epsn,
+            PacketKind::Ack { epsn, .. } | PacketKind::Nack { epsn, .. } => epsn,
             _ => 0,
         };
         self.records.push_back(TapRecord {

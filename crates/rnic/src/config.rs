@@ -1,5 +1,6 @@
 //! NIC and congestion-control configuration.
 
+use crate::reaction::TransportReaction;
 use simcore::time::TimeDelta;
 
 /// Which reliable-transport generation the NIC models (§2.2).
@@ -120,6 +121,9 @@ pub struct NicConfig {
     pub cc: CcConfig,
     /// RNG seed (sport selection etc.).
     pub seed: u64,
+    /// Sender entropy + receiver OOO-escalation policies (the scheme
+    /// zoo's transport half; commodity NIC-SR by default).
+    pub reaction: TransportReaction,
 }
 
 impl NicConfig {
@@ -133,6 +137,7 @@ impl NicConfig {
             line_rate_bps,
             cc: CcConfig::recommended(line_rate_bps),
             seed: 7,
+            reaction: TransportReaction::COMMODITY,
         }
     }
 

@@ -29,10 +29,15 @@ pub mod dcqcn;
 pub mod nic;
 pub mod psn;
 pub mod qp;
+pub mod reaction;
 pub mod telem;
 
 pub use config::{CcConfig, NicConfig, TransportMode};
 pub use dcqcn::Dcqcn;
 pub use nic::Nic;
 pub use psn::{extend24, wire_psn};
+pub use reaction::{
+    EntropyStats, OooReaction, OooReactionKind, OooReactionStats, SenderEntropy, SenderEntropyKind,
+    TransportReaction,
+};
 pub use telem::NicTelem;

@@ -121,7 +121,7 @@ impl Nic {
     /// Create the sender half of a connection towards `dst`.
     pub fn create_send_qp(&mut self, qp: QpId, dst: HostId, sport: u16) {
         let cc = Dcqcn::new(self.cfg.cc, self.cfg.line_rate_bps);
-        let sqp = SendQp::new(
+        let mut sqp = SendQp::new(
             qp,
             self.host,
             dst,
@@ -130,6 +130,12 @@ impl Nic {
             self.cfg.transport,
             cc,
         );
+        if self.cfg.reaction.entropy != crate::reaction::SenderEntropyKind::Fixed {
+            // Each QP draws its own deterministic stream, derived from
+            // the NIC seed so serial and sharded runs agree.
+            let seed = self.cfg.seed ^ 0x5EED_E4780 ^ ((self.host.0 as u64) << 32) ^ qp.0 as u64;
+            sqp.set_entropy(self.cfg.reaction.entropy.build(seed));
+        }
         self.send_index.insert(qp, self.send_qps.len());
         self.send_qps.push(sqp);
         self.alpha_armed.push(false);
@@ -141,7 +147,7 @@ impl Nic {
     /// `reverse_sport` is the entropy value stamped on ACK/NACK/CNP
     /// packets flowing back to the sender.
     pub fn create_recv_qp(&mut self, qp: QpId, peer: HostId, reverse_sport: u16) {
-        let rqp = RecvQp::new(
+        let mut rqp = RecvQp::new(
             qp,
             self.host,
             peer,
@@ -150,6 +156,9 @@ impl Nic {
             self.cfg.ack_coalescing,
             self.cfg.cc.cnp_interval,
         );
+        if self.cfg.reaction.ooo != crate::reaction::OooReactionKind::Eager {
+            rqp.set_ooo_reaction(self.cfg.reaction.ooo.build());
+        }
         self.recv_index.insert(qp, self.recv_qps.len());
         self.recv_qps.push(rqp);
     }
@@ -300,6 +309,9 @@ impl Nic {
             self.stats.unknown_qp += 1;
             return;
         };
+        // Remember the entropy this packet travelled on so the ACK it
+        // may trigger can echo it (REPS feedback loop).
+        self.recv_qps[i].note_data_sport(pkt.udp_sport);
         if let Some(t) = &self.telem {
             // Out-of-order arrival depth: how far ahead of the expected
             // PSN this packet landed (0 for in-order arrivals).
@@ -331,20 +343,26 @@ impl Nic {
         }
     }
 
-    fn on_ack_packet(&mut self, qp: QpId, epsn: u32, nack: bool, ctx: &mut Ctx<'_>) {
+    /// `echo` carries the ACK-echoed entropy value for ACKs and is
+    /// `None` for NACKs.
+    fn on_ack_packet(&mut self, qp: QpId, epsn: u32, echo: Option<u16>, ctx: &mut Ctx<'_>) {
         let Some(&i) = self.send_index.get(&qp) else {
             self.stats.unknown_qp += 1;
             return;
         };
         let now = ctx.now();
-        let completed = if nack {
-            let (completed, cut) = self.send_qps[i].on_nack(epsn, now);
-            if cut {
-                self.record_rate_cut(i);
+        let completed = match echo {
+            None => {
+                let (completed, cut) = self.send_qps[i].on_nack(epsn, now);
+                if cut {
+                    self.record_rate_cut(i);
+                }
+                completed
             }
-            completed
-        } else {
-            self.send_qps[i].on_ack(epsn)
+            Some(echo_sport) => {
+                self.send_qps[i].on_ack_echo(echo_sport);
+                self.send_qps[i].on_ack(epsn)
+            }
         };
         // Progress (or explicit loss signal) re-arms the RTO.
         if self.send_qps[i].has_unacked() {
@@ -490,8 +508,10 @@ impl Entity for Nic {
                 }
                 match pkt.kind {
                     PacketKind::Data { .. } => self.on_data_packet(&pkt, ctx),
-                    PacketKind::Ack { epsn } => self.on_ack_packet(pkt.qp, epsn, false, ctx),
-                    PacketKind::Nack { epsn, .. } => self.on_ack_packet(pkt.qp, epsn, true, ctx),
+                    PacketKind::Ack { epsn, echo_sport } => {
+                        self.on_ack_packet(pkt.qp, epsn, Some(echo_sport), ctx)
+                    }
+                    PacketKind::Nack { epsn, .. } => self.on_ack_packet(pkt.qp, epsn, None, ctx),
                     PacketKind::Cnp => {
                         if let Some(&i) = self.send_index.get(&pkt.qp) {
                             if self.send_qps[i].on_cnp(ctx.now()) {

@@ -16,6 +16,9 @@ use crate::bitmap::OooBitmap;
 use crate::config::TransportMode;
 use crate::dcqcn::Dcqcn;
 use crate::psn::{extend24, wire_psn};
+use crate::reaction::{
+    EagerNack, EntropyStats, FixedEntropy, OooReaction, OooReactionStats, SenderEntropy,
+};
 use netsim::packet::Packet;
 use netsim::types::{HostId, QpId};
 use simcore::stats::{RateMeter, TimeSeries};
@@ -114,6 +117,9 @@ pub struct SendQp {
     /// slim (the trace payload is ~90 bytes and rarely enabled).
     pub trace: Option<Box<SendTrace>>,
     handshake_sent: bool,
+    /// Per-packet entropy policy (scheme zoo); [`FixedEntropy`] = the
+    /// commodity behaviour of using `sport` on every packet.
+    entropy: Box<dyn SenderEntropy>,
 }
 
 impl SendQp {
@@ -146,7 +152,23 @@ impl SendQp {
             stats: SendQpStats::default(),
             trace: None,
             handshake_sent: false,
+            entropy: Box::new(FixedEntropy),
         }
+    }
+
+    /// Install a sender entropy policy (default: [`FixedEntropy`]).
+    pub fn set_entropy(&mut self, entropy: Box<dyn SenderEntropy>) {
+        self.entropy = entropy;
+    }
+
+    /// Feed an ACK-echoed entropy value to the entropy policy.
+    pub fn on_ack_echo(&mut self, echo: u16) {
+        self.entropy.on_ack_echo(echo);
+    }
+
+    /// Entropy-policy counters (`scheme.*` telemetry).
+    pub fn entropy_stats(&self) -> EntropyStats {
+        self.entropy.stats()
     }
 
     /// Allocate PSN space for a message; returns the range.
@@ -248,11 +270,12 @@ impl SendQp {
         let retransmission = from_retx_queue || psn < self.snd_max;
         self.snd_max = self.snd_max.max(psn + 1);
         let (payload, last, tag) = self.payload_for(psn);
+        let sport = self.entropy.sport_for(self.sport, psn, retransmission);
         let pkt = Packet::data(
             self.qp,
             self.me,
             self.dst,
-            self.sport,
+            sport,
             wire_psn(psn),
             tag,
             last,
@@ -299,6 +322,9 @@ impl SendQp {
             self.stats.stale_nacks += 1;
             return (Vec::new(), false);
         }
+        // An accepted NACK is a loss signal: cached path knowledge
+        // (e.g. the REPS entropy pool) may be stale.
+        self.entropy.on_path_trouble();
         let completed = self.advance_una(ext);
         match self.transport {
             TransportMode::SelectiveRepeat | TransportMode::IdealOracle => {
@@ -332,6 +358,7 @@ impl SendQp {
             return;
         }
         self.stats.rto_fires += 1;
+        self.entropy.on_path_trouble();
         match self.transport {
             TransportMode::SelectiveRepeat | TransportMode::IdealOracle => {
                 self.retx.insert(self.snd_una);
@@ -417,6 +444,11 @@ pub struct RecvQp {
     last_cnp: Option<Nanos>,
     /// Statistics.
     pub stats: RecvQpStats,
+    /// OOO-escalation policy (scheme zoo); [`EagerNack`] = commodity
+    /// NIC-SR "every OOO arrival warrants a NACK".
+    ooo: Box<dyn OooReaction>,
+    /// Entropy value of the most recent data packet; echoed on ACKs.
+    last_data_sport: u16,
 }
 
 /// Result of processing one incoming data packet.
@@ -455,7 +487,26 @@ impl RecvQp {
             oracle_lost: BTreeSet::new(),
             last_cnp: None,
             stats: RecvQpStats::default(),
+            ooo: Box::new(EagerNack::default()),
+            last_data_sport: reverse_sport,
         }
+    }
+
+    /// Install an OOO-escalation policy (default: [`EagerNack`]).
+    pub fn set_ooo_reaction(&mut self, ooo: Box<dyn OooReaction>) {
+        self.ooo = ooo;
+    }
+
+    /// OOO-reaction counters (`scheme.*` telemetry).
+    pub fn ooo_stats(&self) -> OooReactionStats {
+        self.ooo.stats()
+    }
+
+    /// Record the entropy value an incoming data packet travelled on,
+    /// so subsequent ACKs can echo it. Called by the NIC before
+    /// [`RecvQp::on_data`].
+    pub fn note_data_sport(&mut self, sport: u16) {
+        self.last_data_sport = sport;
     }
 
     /// Current expected PSN (extended).
@@ -542,6 +593,7 @@ impl RecvQp {
             self.stats.bytes_delivered += payload as u64;
             let adv = self.bitmap.advance();
             self.epsn += adv;
+            self.ooo.on_advance();
             self.oracle_lost = self.oracle_lost.split_off(&self.epsn);
             self.inorder_since_ack += 1;
 
@@ -586,8 +638,10 @@ impl RecvQp {
                     self.stats.dup_packets += 1;
                 }
                 // Commodity NIC-SR blindly assumes the expected packet was
-                // lost — at most one NACK per ePSN value (§2.2).
-                if self.last_nacked != Some(self.epsn) {
+                // lost; patient policies (Eunomia) buffer instead. Either
+                // way: at most one NACK per ePSN value on the wire (§2.2).
+                let due = self.ooo.nack_due(ext - self.epsn, now);
+                if due && self.last_nacked != Some(self.epsn) {
                     self.last_nacked = Some(self.epsn);
                     self.push_nack(&mut out);
                 }
@@ -623,6 +677,7 @@ impl RecvQp {
             self.peer,
             self.reverse_sport,
             wire_psn(self.epsn),
+            self.last_data_sport,
         ));
     }
 
@@ -851,7 +906,7 @@ mod tests {
             // ack_coalescing = 1 -> every packet ACKs.
             assert_eq!(out.responses.len(), 1);
             match out.responses[0].kind {
-                PacketKind::Ack { epsn } => assert_eq!(epsn, psn + 1),
+                PacketKind::Ack { epsn, .. } => assert_eq!(epsn, psn + 1),
                 _ => panic!("expected ACK"),
             }
         }
@@ -889,7 +944,7 @@ mod tests {
         assert!(out
             .responses
             .iter()
-            .any(|p| matches!(p.kind, PacketKind::Ack { epsn: 3 })));
+            .any(|p| matches!(p.kind, PacketKind::Ack { epsn: 3, .. })));
     }
 
     #[test]
@@ -911,7 +966,10 @@ mod tests {
         r.on_data(0, 0, false, 1000, false, Nanos(0));
         let out = r.on_data(0, 0, false, 1000, false, Nanos(1));
         assert_eq!(r.stats.dup_packets, 1);
-        assert!(matches!(out.responses[0].kind, PacketKind::Ack { epsn: 1 }));
+        assert!(matches!(
+            out.responses[0].kind,
+            PacketKind::Ack { epsn: 1, .. }
+        ));
     }
 
     #[test]

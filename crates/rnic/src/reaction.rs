@@ -1,0 +1,612 @@
+//! The transport-reaction half of the scheme boundary.
+//!
+//! A load-balancing *scheme* is the product of two orthogonal choices
+//! (see DESIGN.md "Scheme zoo"):
+//!
+//! * **Path choice** — which uplink each packet takes. Lives in the
+//!   switches ([`netsim::lb::LbPolicy`]) or, for sender-driven schemes,
+//!   in the entropy the NIC stamps on each packet (the UDP source port
+//!   that ECMP hashes on).
+//! * **Transport reaction** — how the endpoints react to the
+//!   out-of-order arrivals and losses that path choice produces.
+//!
+//! This module is the second half: a [`TransportReaction`] bundles a
+//! [`SenderEntropy`] policy (per-packet entropy choice plus reaction to
+//! ACK-carried path feedback and loss signals) with an [`OooReaction`]
+//! (when the receiver escalates an out-of-order gap to a NACK). The
+//! default pair — [`FixedEntropy`] + [`EagerNack`] — reproduces the
+//! commodity NIC-SR behaviour of §2.2 exactly; the rival schemes of
+//! SCHEMES.md plug in here:
+//!
+//! * **REPS** (arXiv 2407.21625) — [`RepsEntropy`]: cache the entropy
+//!   values echoed back by ACKs (proof the path worked) and recycle
+//!   them on subsequent sends; fall back to fresh random entropy when
+//!   the cache is empty and flush it on any loss signal.
+//! * **Sprinklers** (arXiv 1407.0006) — [`SprinklersEntropy`]: spray at
+//!   flowcell granularity — randomized variable-size stripes of
+//!   consecutive packets share one entropy value, bounding reordering
+//!   to stripe boundaries.
+//! * **Eunomia** (arXiv 2412.08540) — [`EunomiaReaction`]: an in-NIC
+//!   per-QP ordering buffer with a bounded window. Out-of-order
+//!   arrivals are buffered silently; a NACK is generated only when the
+//!   window overflows or the head gap stays open past a timeout.
+//!
+//! All policy state is per-QP and driven in the canonical dispatch
+//! order, so every policy is bit-identical between the serial and
+//! sharded engines. Randomized policies derive their stream from the
+//! NIC seed (no global RNG).
+
+use simcore::rng::Xoshiro256;
+use simcore::time::{Nanos, TimeDelta};
+use std::collections::VecDeque;
+
+// ---------------------------------------------------------------------
+// Configuration kinds (plain `Copy` data; the boxed policies are built
+// from these at QP-creation time).
+// ---------------------------------------------------------------------
+
+/// Which [`SenderEntropy`] policy a NIC installs on its sender QPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderEntropyKind {
+    /// One fixed entropy value per flow (commodity default): the path is
+    /// chosen by the switches, not the sender.
+    Fixed,
+    /// REPS recycled-entropy spraying.
+    Reps {
+        /// Capacity of the recycled-entropy cache (ACK echoes beyond
+        /// this evict the oldest credit).
+        pool: u16,
+    },
+    /// Sprinklers randomized variable-size striping.
+    Sprinklers {
+        /// Minimum stripe length in packets (inclusive).
+        min_stripe: u16,
+        /// Maximum stripe length in packets (inclusive).
+        max_stripe: u16,
+    },
+}
+
+/// Which [`OooReaction`] policy a NIC installs on its receiver QPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OooReactionKind {
+    /// Commodity NIC-SR: every out-of-order arrival immediately warrants
+    /// a NACK (at most one per ePSN value, enforced by the QP).
+    Eager,
+    /// Eunomia bounded ordering buffer: hold NACKs while the gap is
+    /// young and the buffered window small.
+    Eunomia {
+        /// Ordering-buffer capacity in packets: a gap wider than this
+        /// overflows the buffer and forces a NACK.
+        window: u64,
+        /// How long the head gap may stay open before a NACK is forced
+        /// (checked on arrivals; the sender RTO is the backstop when no
+        /// further packets arrive).
+        gap_timeout: TimeDelta,
+    },
+}
+
+/// A complete transport reaction: the sender and receiver halves that,
+/// together with the switch-level [`netsim::lb::LbPolicy`], make up a
+/// scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportReaction {
+    /// Sender-side per-packet entropy policy.
+    pub entropy: SenderEntropyKind,
+    /// Receiver-side out-of-order escalation policy.
+    pub ooo: OooReactionKind,
+}
+
+impl TransportReaction {
+    /// The commodity NIC-SR reaction: fixed entropy, eager NACKs.
+    pub const COMMODITY: TransportReaction = TransportReaction {
+        entropy: SenderEntropyKind::Fixed,
+        ooo: OooReactionKind::Eager,
+    };
+}
+
+impl Default for TransportReaction {
+    fn default() -> TransportReaction {
+        TransportReaction::COMMODITY
+    }
+}
+
+impl SenderEntropyKind {
+    /// Build the boxed policy. `seed` must be unique per QP so
+    /// randomized policies draw independent deterministic streams.
+    pub fn build(self, seed: u64) -> Box<dyn SenderEntropy> {
+        match self {
+            SenderEntropyKind::Fixed => Box::new(FixedEntropy),
+            SenderEntropyKind::Reps { pool } => Box::new(RepsEntropy::new(pool as usize, seed)),
+            SenderEntropyKind::Sprinklers {
+                min_stripe,
+                max_stripe,
+            } => Box::new(SprinklersEntropy::new(min_stripe, max_stripe, seed)),
+        }
+    }
+}
+
+impl OooReactionKind {
+    /// Build the boxed policy.
+    pub fn build(self) -> Box<dyn OooReaction> {
+        match self {
+            OooReactionKind::Eager => Box::new(EagerNack::default()),
+            OooReactionKind::Eunomia {
+                window,
+                gap_timeout,
+            } => Box::new(EunomiaReaction::new(window, gap_timeout)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sender half
+// ---------------------------------------------------------------------
+
+/// Counters every [`SenderEntropy`] policy reports (exported as the
+/// `scheme.*` telemetry namespace by the harness).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EntropyStats {
+    /// Sends that reused an ACK-echoed ("known good") entropy value.
+    pub recycled_sends: u64,
+    /// Sends that drew a fresh random entropy value.
+    pub fresh_sends: u64,
+    /// Times the recycled-entropy cache was flushed by a loss signal.
+    pub pool_clears: u64,
+    /// ACK echoes dropped because the cache was full.
+    pub pool_evictions: u64,
+    /// Stripes started (Sprinklers).
+    pub stripes_started: u64,
+}
+
+impl EntropyStats {
+    /// Field-wise sum (cluster-level aggregation).
+    pub fn add(&mut self, other: &EntropyStats) {
+        self.recycled_sends += other.recycled_sends;
+        self.fresh_sends += other.fresh_sends;
+        self.pool_clears += other.pool_clears;
+        self.pool_evictions += other.pool_evictions;
+        self.stripes_started += other.stripes_started;
+    }
+}
+
+/// Sender-side per-packet entropy policy.
+///
+/// Implementations are pure per-QP state machines: they see the PSN
+/// stream, the ACK-echoed entropy feedback, and loss signals, and decide
+/// the UDP source port of every outgoing data packet.
+pub trait SenderEntropy: std::fmt::Debug {
+    /// Choose the UDP source port for the data packet carrying `psn`.
+    /// `base_sport` is the flow's allocator-assigned port (the value a
+    /// fixed-entropy flow would always use).
+    fn sport_for(&mut self, base_sport: u16, psn: u64, retransmission: bool) -> u16;
+
+    /// An ACK arrived echoing the entropy value its triggering data
+    /// packet travelled on — proof that path currently works.
+    fn on_ack_echo(&mut self, _echo: u16) {}
+
+    /// A loss signal arrived (NACK accepted or RTO fired): cached path
+    /// knowledge may be stale.
+    fn on_path_trouble(&mut self) {}
+
+    /// Counter snapshot.
+    fn stats(&self) -> EntropyStats;
+}
+
+/// The commodity policy: always the flow's base entropy.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FixedEntropy;
+
+impl SenderEntropy for FixedEntropy {
+    fn sport_for(&mut self, base_sport: u16, _psn: u64, _retransmission: bool) -> u16 {
+        base_sport
+    }
+
+    fn stats(&self) -> EntropyStats {
+        EntropyStats::default()
+    }
+}
+
+/// Ephemeral-range random entropy: 0xC000..=0xFFFF, the range the QP
+/// allocator draws from, so sender-chosen values are indistinguishable
+/// from allocator-chosen ones on the wire.
+#[inline]
+fn fresh_sport(rng: &mut Xoshiro256) -> u16 {
+    0xC000 | (rng.next_below(1 << 14) as u16)
+}
+
+/// REPS: recycle ACK-echoed entropy values, fresh entropy otherwise.
+///
+/// The cache is a queue of *credits*: every ACK echo deposits one (the
+/// echoed path just proved it can deliver), every data send withdraws
+/// one. In steady state each delivered packet funds the entropy of one
+/// future packet, so the flow keeps circulating over paths that work.
+/// Any loss signal (accepted NACK or RTO) flushes the cache — the
+/// failure-mitigation rule of the paper — after which the flow explores
+/// with fresh random entropy until ACKs refill it.
+#[derive(Debug)]
+pub struct RepsEntropy {
+    pool: VecDeque<u16>,
+    cap: usize,
+    rng: Xoshiro256,
+    stats: EntropyStats,
+}
+
+impl RepsEntropy {
+    /// A REPS policy with the given cache capacity.
+    pub fn new(cap: usize, seed: u64) -> RepsEntropy {
+        RepsEntropy {
+            pool: VecDeque::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+            rng: Xoshiro256::seeded(seed),
+            stats: EntropyStats::default(),
+        }
+    }
+
+    /// Entropy credits currently cached.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+impl SenderEntropy for RepsEntropy {
+    fn sport_for(&mut self, _base_sport: u16, _psn: u64, retransmission: bool) -> u16 {
+        // Retransmissions always explore a fresh path: the old one just
+        // failed to deliver this packet.
+        if !retransmission {
+            if let Some(ev) = self.pool.pop_front() {
+                self.stats.recycled_sends += 1;
+                return ev;
+            }
+        }
+        self.stats.fresh_sends += 1;
+        fresh_sport(&mut self.rng)
+    }
+
+    fn on_ack_echo(&mut self, echo: u16) {
+        if self.pool.len() == self.cap {
+            self.pool.pop_front();
+            self.stats.pool_evictions += 1;
+        }
+        self.pool.push_back(echo);
+    }
+
+    fn on_path_trouble(&mut self) {
+        if !self.pool.is_empty() {
+            self.pool.clear();
+        }
+        self.stats.pool_clears += 1;
+    }
+
+    fn stats(&self) -> EntropyStats {
+        self.stats
+    }
+}
+
+/// Sprinklers: randomized variable-size striping.
+///
+/// Consecutive packets share one entropy value for the length of a
+/// *stripe*; stripe lengths are drawn uniformly from
+/// `[min_stripe, max_stripe]` so stripe boundaries of competing flows
+/// decorrelate. Reordering is confined to stripe boundaries — a fraction
+/// `~1/stripe_len` of packets — instead of every packet as in uniform
+/// spraying.
+#[derive(Debug)]
+pub struct SprinklersEntropy {
+    min_stripe: u64,
+    max_stripe: u64,
+    current: u16,
+    remaining: u64,
+    rng: Xoshiro256,
+    stats: EntropyStats,
+}
+
+impl SprinklersEntropy {
+    /// A Sprinklers policy with stripe lengths in
+    /// `[min_stripe, max_stripe]` packets.
+    pub fn new(min_stripe: u16, max_stripe: u16, seed: u64) -> SprinklersEntropy {
+        let lo = min_stripe.max(1) as u64;
+        let hi = (max_stripe as u64).max(lo);
+        SprinklersEntropy {
+            min_stripe: lo,
+            max_stripe: hi,
+            current: 0,
+            remaining: 0,
+            rng: Xoshiro256::seeded(seed),
+            stats: EntropyStats::default(),
+        }
+    }
+}
+
+impl SenderEntropy for SprinklersEntropy {
+    fn sport_for(&mut self, _base_sport: u16, _psn: u64, _retransmission: bool) -> u16 {
+        if self.remaining == 0 {
+            self.current = fresh_sport(&mut self.rng);
+            let span = self.max_stripe - self.min_stripe + 1;
+            self.remaining = self.min_stripe + self.rng.next_below(span);
+            self.stats.stripes_started += 1;
+            self.stats.fresh_sends += 1;
+        } else {
+            self.stats.recycled_sends += 1;
+        }
+        self.remaining -= 1;
+        self.current
+    }
+
+    fn stats(&self) -> EntropyStats {
+        self.stats
+    }
+}
+
+// ---------------------------------------------------------------------
+// Receiver half
+// ---------------------------------------------------------------------
+
+/// Counters every [`OooReaction`] policy reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OooReactionStats {
+    /// Out-of-order arrivals whose NACK the policy allowed.
+    pub nacks_allowed: u64,
+    /// Out-of-order arrivals silently buffered (NACK withheld).
+    pub nacks_held: u64,
+    /// NACKs forced by ordering-buffer overflow.
+    pub window_overflow_nacks: u64,
+    /// NACKs forced by the head gap outliving the timeout.
+    pub gap_timeout_nacks: u64,
+}
+
+impl OooReactionStats {
+    /// Field-wise sum (cluster-level aggregation).
+    pub fn add(&mut self, other: &OooReactionStats) {
+        self.nacks_allowed += other.nacks_allowed;
+        self.nacks_held += other.nacks_held;
+        self.window_overflow_nacks += other.window_overflow_nacks;
+        self.gap_timeout_nacks += other.gap_timeout_nacks;
+    }
+}
+
+/// Receiver-side out-of-order escalation policy: decides *whether* an
+/// out-of-order arrival warrants a NACK right now. The QP still enforces
+/// the wire rule of at most one NACK per ePSN value on top.
+pub trait OooReaction: std::fmt::Debug {
+    /// A data packet landed `gap` PSNs ahead of the expected PSN at
+    /// `now`. Returns true when the transport should NACK.
+    fn nack_due(&mut self, gap: u64, now: Nanos) -> bool;
+
+    /// The expected PSN advanced — the head gap (if any) closed.
+    fn on_advance(&mut self);
+
+    /// Counter snapshot.
+    fn stats(&self) -> OooReactionStats;
+}
+
+/// Commodity NIC-SR reaction: every out-of-order arrival warrants a
+/// NACK immediately (§2.2 — the blind "expected packet must be lost"
+/// assumption whose consequences motivate the paper).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EagerNack {
+    stats: OooReactionStats,
+}
+
+impl OooReaction for EagerNack {
+    fn nack_due(&mut self, _gap: u64, _now: Nanos) -> bool {
+        self.stats.nacks_allowed += 1;
+        true
+    }
+
+    fn on_advance(&mut self) {}
+
+    fn stats(&self) -> OooReactionStats {
+        self.stats
+    }
+}
+
+/// Eunomia: bounded in-NIC ordering buffer with patient NACKs.
+///
+/// Out-of-order arrivals are buffered silently while (a) the gap fits
+/// the ordering window and (b) the head gap has been open for less than
+/// `gap_timeout`. Either bound breaking forces a NACK. The timeout is
+/// checked on arrivals (the model adds no new timers); a gap with no
+/// subsequent arrivals is recovered by the sender's RTO — a documented
+/// divergence from the published design, which runs a receiver-side
+/// ordering timer.
+#[derive(Debug)]
+pub struct EunomiaReaction {
+    window: u64,
+    gap_timeout: TimeDelta,
+    gap_open_since: Option<Nanos>,
+    stats: OooReactionStats,
+}
+
+impl EunomiaReaction {
+    /// An Eunomia reaction with the given window and gap timeout.
+    pub fn new(window: u64, gap_timeout: TimeDelta) -> EunomiaReaction {
+        EunomiaReaction {
+            window: window.max(1),
+            gap_timeout,
+            gap_open_since: None,
+            stats: OooReactionStats::default(),
+        }
+    }
+}
+
+impl OooReaction for EunomiaReaction {
+    fn nack_due(&mut self, gap: u64, now: Nanos) -> bool {
+        let opened = *self.gap_open_since.get_or_insert(now);
+        if gap > self.window {
+            self.stats.window_overflow_nacks += 1;
+            self.stats.nacks_allowed += 1;
+            return true;
+        }
+        if now.since(opened) >= self.gap_timeout {
+            self.stats.gap_timeout_nacks += 1;
+            self.stats.nacks_allowed += 1;
+            return true;
+        }
+        self.stats.nacks_held += 1;
+        false
+    }
+
+    fn on_advance(&mut self) {
+        self.gap_open_since = None;
+    }
+
+    fn stats(&self) -> OooReactionStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_entropy_is_the_identity() {
+        let mut e = FixedEntropy;
+        assert_eq!(e.sport_for(4242, 0, false), 4242);
+        assert_eq!(e.sport_for(4242, 99, true), 4242);
+        e.on_ack_echo(1); // ignored
+        assert_eq!(e.stats().fresh_sends, 0);
+    }
+
+    #[test]
+    fn reps_recycles_echoed_entropy_in_fifo_order() {
+        let mut e = RepsEntropy::new(8, 7);
+        // No credits yet: fresh entropy.
+        let first = e.sport_for(4242, 0, false);
+        assert!(first >= 0xC000);
+        assert_eq!(e.stats().fresh_sends, 1);
+        // Two echoes, recycled in arrival order.
+        e.on_ack_echo(0xCAAA);
+        e.on_ack_echo(0xCBBB);
+        assert_eq!(e.sport_for(4242, 1, false), 0xCAAA);
+        assert_eq!(e.sport_for(4242, 2, false), 0xCBBB);
+        assert_eq!(e.stats().recycled_sends, 2);
+        // Pool drained: fresh again.
+        let _ = e.sport_for(4242, 3, false);
+        assert_eq!(e.stats().fresh_sends, 2);
+    }
+
+    #[test]
+    fn reps_flushes_pool_on_trouble_and_retransmits_fresh() {
+        let mut e = RepsEntropy::new(8, 7);
+        e.on_ack_echo(0xCAAA);
+        e.on_path_trouble();
+        assert_eq!(e.pool_len(), 0);
+        assert_eq!(e.stats().pool_clears, 1);
+        // A retransmission never reuses a cached value.
+        e.on_ack_echo(0xCBBB);
+        let s = e.sport_for(4242, 5, true);
+        assert_ne!(s, 0xCBBB);
+        assert_eq!(e.pool_len(), 1, "credit kept for the next first-send");
+    }
+
+    #[test]
+    fn reps_pool_is_bounded() {
+        let mut e = RepsEntropy::new(2, 7);
+        for ev in [0xC001, 0xC002, 0xC003] {
+            e.on_ack_echo(ev);
+        }
+        assert_eq!(e.pool_len(), 2);
+        assert_eq!(e.stats().pool_evictions, 1);
+        assert_eq!(e.sport_for(0, 0, false), 0xC002, "oldest was evicted");
+    }
+
+    #[test]
+    fn sprinklers_holds_entropy_within_a_stripe() {
+        let mut e = SprinklersEntropy::new(4, 4, 11); // fixed stripe of 4
+        let s0 = e.sport_for(4242, 0, false);
+        for psn in 1..4 {
+            assert_eq!(e.sport_for(4242, psn, false), s0, "same stripe");
+        }
+        let s1 = e.sport_for(4242, 4, false);
+        assert_eq!(e.stats().stripes_started, 2);
+        // 16k-value space: a collision is possible but not for this seed.
+        assert_ne!(s0, s1, "new stripe re-rolls entropy");
+    }
+
+    #[test]
+    fn sprinklers_stripe_lengths_stay_in_range() {
+        let mut e = SprinklersEntropy::new(2, 5, 3);
+        let mut lens = Vec::new();
+        let mut cur = e.sport_for(0, 0, false);
+        let mut len = 1u64;
+        for psn in 1..200 {
+            let s = e.sport_for(0, psn, false);
+            if s == cur {
+                len += 1;
+            } else {
+                lens.push(len);
+                cur = s;
+                len = 1;
+            }
+        }
+        assert!(lens.iter().all(|&l| (2..=5).contains(&l)), "{lens:?}");
+        assert!(lens.len() > 10, "many stripes over 200 packets");
+    }
+
+    #[test]
+    fn eager_always_nacks() {
+        let mut r = EagerNack::default();
+        assert!(r.nack_due(1, Nanos::ZERO));
+        assert!(r.nack_due(500, Nanos(5)));
+        assert_eq!(r.stats().nacks_allowed, 2);
+        assert_eq!(r.stats().nacks_held, 0);
+    }
+
+    #[test]
+    fn eunomia_holds_young_small_gaps() {
+        let mut r = EunomiaReaction::new(16, TimeDelta::from_micros(100));
+        assert!(!r.nack_due(3, Nanos::ZERO));
+        assert!(!r.nack_due(10, Nanos::from_micros(50)));
+        assert_eq!(r.stats().nacks_held, 2);
+    }
+
+    #[test]
+    fn eunomia_nacks_on_window_overflow() {
+        let mut r = EunomiaReaction::new(16, TimeDelta::from_micros(100));
+        assert!(r.nack_due(17, Nanos::ZERO));
+        assert_eq!(r.stats().window_overflow_nacks, 1);
+    }
+
+    #[test]
+    fn eunomia_nacks_when_gap_outlives_timeout() {
+        let mut r = EunomiaReaction::new(16, TimeDelta::from_micros(100));
+        assert!(!r.nack_due(2, Nanos::ZERO));
+        assert!(r.nack_due(2, Nanos::from_micros(100)));
+        assert_eq!(r.stats().gap_timeout_nacks, 1);
+    }
+
+    #[test]
+    fn eunomia_advance_resets_the_gap_clock() {
+        let mut r = EunomiaReaction::new(16, TimeDelta::from_micros(100));
+        assert!(!r.nack_due(2, Nanos::ZERO));
+        r.on_advance();
+        // A new gap opening at t=100µs is young again.
+        assert!(!r.nack_due(2, Nanos::from_micros(100)));
+        assert_eq!(r.stats().gap_timeout_nacks, 0);
+    }
+
+    #[test]
+    fn kinds_build_the_matching_policy() {
+        let mut f = SenderEntropyKind::Fixed.build(1);
+        assert_eq!(f.sport_for(99, 0, false), 99);
+        let mut reps = SenderEntropyKind::Reps { pool: 4 }.build(1);
+        reps.on_ack_echo(0xC123);
+        assert_eq!(reps.sport_for(99, 0, false), 0xC123);
+        let mut spr = SenderEntropyKind::Sprinklers {
+            min_stripe: 3,
+            max_stripe: 3,
+        }
+        .build(1);
+        let a = spr.sport_for(99, 0, false);
+        assert_eq!(spr.sport_for(99, 1, false), a);
+        let mut eager = OooReactionKind::Eager.build();
+        assert!(eager.nack_due(1, Nanos::ZERO));
+        let mut eu = OooReactionKind::Eunomia {
+            window: 8,
+            gap_timeout: TimeDelta::from_micros(10),
+        }
+        .build();
+        assert!(!eu.nack_due(1, Nanos::ZERO));
+    }
+}

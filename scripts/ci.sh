@@ -8,8 +8,9 @@
 #   2. cargo build --release
 #   3. cargo test -q            (tier-1 suite)
 #   4. THEMIS_SHARDS=2 matrix leg: the model checker, the oracle e2e
-#      suites, and PFC/failure runs repeated on the sharded engine —
-#      every assertion must hold bit-identically on both engines.
+#      suites, PFC/failure runs, and the scheme-zoo matrix repeated on
+#      the sharded engine — every assertion must hold bit-identically
+#      on both engines.
 #   5. cargo doc --no-deps      (rustdoc warnings denied) + doctests
 #   6. fixed-seed conformance-fuzz smoke: themis_fuzz runs a bounded
 #      budget of fault scenarios under the protocol-invariant oracle,
@@ -46,7 +47,8 @@ echo "== tests (sharded engine matrix leg, THEMIS_SHARDS=2) =="
 # scenarios on the partitioned engine. Sharding is proven bit-identical
 # (tests/parallel_equivalence.rs), so identical assertions must pass.
 THEMIS_SHARDS=2 cargo test -q \
-    --test model_check --test collectives_e2e --test pfc --test dynamic_failure
+    --test model_check --test collectives_e2e --test pfc --test dynamic_failure \
+    --test scheme_zoo
 
 echo "== docs (rustdoc, warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
@@ -116,6 +118,29 @@ awk -v b="$merge_baseline" -v c="$merge_current" 'BEGIN {
     }
     printf "OK: within the 30%% regression budget (floor %.0f)\n", floor
 }'
+
+# Per-scheme throughput of the SCHEMES.md baselines: a throughput
+# collapse in one scheme's entropy/reaction hot path (RNG per send,
+# pool bookkeeping, OOO gap tracking) would hide inside the aggregate
+# numbers above, so each gets its own 70% floor.
+for scheme in reps eunomia sprinklers; do
+    key="scheme_${scheme}_events_per_sec"
+    s_baseline=$(read_field BENCH_substrate.json "$key")
+    s_current=$(read_field "$SMOKE_JSON" "$key")
+    if [ -z "$s_baseline" ] || [ -z "$s_current" ]; then
+        echo "FAIL: could not read $key (baseline='$s_baseline', current='$s_current')"
+        exit 1
+    fi
+    echo "$key: committed=$s_baseline smoke=$s_current"
+    awk -v b="$s_baseline" -v c="$s_current" -v k="$key" 'BEGIN {
+        floor = 0.70 * b
+        if (c < floor) {
+            printf "FAIL: %s %.0f is below the 70%% regression floor %.0f\n", k, c, floor
+            exit 1
+        }
+        printf "OK: within the 30%% regression budget (floor %.0f)\n", floor
+    }'
+done
 
 echo "== paper_fabric_x10 smoke bench =="
 # The 1024-host k=16 fabric with every host in an active ring, run at a
